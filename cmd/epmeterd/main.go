@@ -1,0 +1,33 @@
+// Command epmeterd serves the measurement stack over HTTP — the analog of
+// running HCLWattsUp as a lab service. See internal/service for the API.
+//
+// Usage:
+//
+//	epmeterd -addr :8080
+//	curl localhost:8080/devices
+//	curl -d '{"device":"p100","workload":{"N":10240,"Products":8},"config":{"BS":24,"G":1,"R":8}}' localhost:8080/measure
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"energyprop/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.New().Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("epmeterd: serving the measurement API on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatalf("epmeterd: %v", err)
+	}
+}

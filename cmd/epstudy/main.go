@@ -1,0 +1,148 @@
+// Command epstudy regenerates the paper's tables and figures from the
+// simulated platforms.
+//
+// Usage:
+//
+//	epstudy -list
+//	epstudy -run fig7
+//	epstudy -run all -quick
+//	epstudy -run fig8 -csv
+//	epstudy -svgdir figs/
+//	epstudy -run all -markdown report.md
+//	epstudy -html report.html
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"energyprop/internal/experiment"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("epstudy", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runID := fs.String("run", "", "experiment id to run, or 'all'")
+	list := fs.Bool("list", false, "list registered experiments")
+	quick := fs.Bool("quick", false, "shrink sweeps for a fast run")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	seed := fs.Int64("seed", 1, "seed for the measurement noise")
+	svgDir := fs.String("svgdir", "", "also render the paper's figures as SVGs into this directory")
+	markdown := fs.String("markdown", "", "write a full markdown report to this file ('-' for stdout)")
+	html := fs.String("html", "", "write a self-contained HTML report (tables + inline figures) to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	opt := experiment.Options{Seed: *seed, Quick: *quick}
+	var ids []string
+	if *runID != "" && *runID != "all" {
+		ids = []string{*runID}
+	}
+
+	if *html != "" {
+		page, err := experiment.RenderHTML(ids, opt)
+		if err != nil {
+			fmt.Fprintf(stderr, "epstudy: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*html, []byte(page), 0o644); err != nil {
+			fmt.Fprintf(stderr, "epstudy: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *html)
+		return 0
+	}
+
+	if *markdown != "" {
+		report, err := experiment.RenderReport(ids, opt)
+		if err != nil {
+			fmt.Fprintf(stderr, "epstudy: %v\n", err)
+			return 1
+		}
+		if *markdown == "-" {
+			fmt.Fprint(stdout, report)
+		} else if err := os.WriteFile(*markdown, []byte(report), 0o644); err != nil {
+			fmt.Fprintf(stderr, "epstudy: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *svgDir != "" {
+		if err := writeSVGs(stdout, *svgDir, opt); err != nil {
+			fmt.Fprintf(stderr, "epstudy: %v\n", err)
+			return 1
+		}
+		if *runID == "" && !*list {
+			return 0
+		}
+	}
+
+	if *list || *runID == "" {
+		fmt.Fprintln(stdout, "available experiments:")
+		for _, id := range experiment.IDs() {
+			e, err := experiment.Get(id)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(stdout, "  %-12s %s\n", id, e.Title)
+			fmt.Fprintf(stdout, "  %-12s paper: %s\n", "", e.Paper)
+		}
+		if *runID == "" && !*list {
+			fmt.Fprintln(stdout, "\nrun one with: epstudy -run <id>")
+		}
+		return 0
+	}
+
+	var tables []*experiment.Table
+	var err error
+	if *runID == "all" {
+		tables, err = experiment.RunAll(opt)
+	} else {
+		var e experiment.Experiment
+		e, err = experiment.Get(*runID)
+		if err == nil {
+			fmt.Fprintf(stdout, "# %s\n# paper: %s\n\n", e.Title, e.Paper)
+			tables, err = e.Run(opt)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "epstudy: %v\n", err)
+		return 1
+	}
+	for _, t := range tables {
+		if *csv {
+			fmt.Fprintf(stdout, "# %s\n%s\n", t.Title, t.CSV())
+		} else {
+			fmt.Fprintln(stdout, t.Render())
+		}
+	}
+	return 0
+}
+
+// writeSVGs renders the figure images into dir.
+func writeSVGs(stdout io.Writer, dir string, opt experiment.Options) error {
+	figs, err := experiment.SVGFigures(opt)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, svg := range figs {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", path)
+	}
+	return nil
+}

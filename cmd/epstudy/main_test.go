@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return out.String(), errBuf.String(), code
+}
+
+func TestListExperiments(t *testing.T) {
+	out, _, code := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"fig1", "fig8", "theory", "scheduler"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q", want)
+		}
+	}
+}
+
+func TestNoArgsShowsHelp(t *testing.T) {
+	out, _, code := runCLI(t)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "run one with: epstudy -run <id>") {
+		t.Error("help hint missing")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	out, _, code := runCLI(t, "-run", "theory")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "E1_balanced") || !strings.Contains(out, "# paper:") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	out, _, code := runCLI(t, "-run", "table1", "-csv")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "field,value") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+}
+
+func TestUnknownExperimentFails(t *testing.T) {
+	_, errOut, code := runCLI(t, "-run", "nope")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "unknown id") {
+		t.Errorf("error message missing: %q", errOut)
+	}
+}
+
+func TestBadFlagFails(t *testing.T) {
+	_, _, code := runCLI(t, "-definitely-not-a-flag")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestMarkdownToStdout(t *testing.T) {
+	out, _, code := runCLI(t, "-run", "theory", "-markdown", "-", "-quick")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "# energyprop experiment report") {
+		t.Error("markdown banner missing")
+	}
+}
+
+func TestHTMLToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.html")
+	_, _, code := runCLI(t, "-run", "theory", "-html", path, "-quick")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<!DOCTYPE html>") {
+		t.Error("not an HTML document")
+	}
+}
+
+func TestSVGDir(t *testing.T) {
+	dir := t.TempDir()
+	out, _, code := runCLI(t, "-svgdir", dir, "-quick")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "fig1.svg") {
+		t.Error("svg write log missing")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig8.svg")); err != nil {
+		t.Errorf("fig8.svg not written: %v", err)
+	}
+}

@@ -1,0 +1,114 @@
+// Command gpusweep runs the paper's matrix-multiplication application for
+// every valid (BS, G, R) configuration on a simulated GPU and emits one
+// CSV row per configuration, optionally followed by the Pareto-front and
+// trade-off analysis (Figs 2, 7, 8) and a persisted JSON record.
+//
+// Usage:
+//
+//	gpusweep -device p100 -n 10240 -products 8 -fronts
+//	gpusweep -device k40c -n 8704 -json sweep.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"energyprop/internal/gpusim"
+	"energyprop/internal/pareto"
+	"energyprop/internal/store"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gpusweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	device := fs.String("device", "p100", "device to simulate: k40c or p100")
+	n := fs.Int("n", 10240, "matrix dimension N")
+	products := fs.Int("products", 8, "total matrix products (G·R)")
+	fronts := fs.Bool("fronts", false, "print Pareto fronts and trade-offs after the CSV")
+	jsonOut := fs.String("json", "", "also persist the sweep as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var dev *gpusim.Device
+	switch *device {
+	case "k40c":
+		dev = gpusim.NewK40c()
+	case "p100":
+		dev = gpusim.NewP100()
+	default:
+		fmt.Fprintf(stderr, "gpusweep: unknown device %q (want k40c or p100)\n", *device)
+		return 2
+	}
+
+	workload := gpusim.MatMulWorkload{N: *n, Products: *products}
+	results, err := dev.Sweep(workload)
+	if err != nil {
+		fmt.Fprintf(stderr, "gpusweep: %v\n", err)
+		return 1
+	}
+
+	if *jsonOut != "" {
+		if err := saveJSON(*jsonOut, dev.Spec.Name, workload, results); err != nil {
+			fmt.Fprintf(stderr, "gpusweep: writing %s: %v\n", *jsonOut, err)
+			return 1
+		}
+	}
+
+	fmt.Fprintln(stdout, "config,bs,g,r,seconds,dyn_power_w,dyn_energy_j,gflops,fetch_active")
+	points := make([]pareto.Point, 0, len(results))
+	for _, r := range results {
+		fmt.Fprintf(stdout, "%q,%d,%d,%d,%.4f,%.2f,%.1f,%.1f,%v\n",
+			r.Config.String(), r.Config.BS, r.Config.G, r.Config.R,
+			r.Seconds, r.DynPowerW, r.DynEnergyJ, r.GFLOPs, r.FetchEngineActive)
+		points = append(points, pareto.Point{Label: r.Config.String(), Time: r.Seconds, Energy: r.DynEnergyJ})
+	}
+
+	if !*fronts {
+		return 0
+	}
+	ranks := pareto.Ranks(points)
+	for i, rank := range ranks {
+		if i > 2 {
+			fmt.Fprintf(stdout, "# ... %d further ranks\n", len(ranks)-i)
+			break
+		}
+		fmt.Fprintf(stdout, "# rank %d (%d points):\n", i, len(rank))
+		for _, p := range rank {
+			fmt.Fprintf(stdout, "#   %-22s t=%.4fs E=%.1fJ\n", p.Label, p.Time, p.Energy)
+		}
+		tos, err := pareto.TradeOffs(rank)
+		if err != nil {
+			continue
+		}
+		for _, to := range tos {
+			fmt.Fprintf(stdout, "#   tradeoff %-22s degradation=%.1f%% saving=%.1f%%\n",
+				to.Point.Label, to.PerfDegradationPct, to.EnergySavingPct)
+		}
+	}
+	return 0
+}
+
+// saveJSON persists the sweep through internal/store.
+func saveJSON(path, device string, w gpusim.MatMulWorkload, results []*gpusim.Result) error {
+	rec, err := store.FromResults(device, w, results)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = store.Save(f, rec)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

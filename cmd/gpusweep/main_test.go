@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"energyprop/internal/store"
+)
+
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return out.String(), errBuf.String(), code
+}
+
+func TestSweepCSV(t *testing.T) {
+	out, _, code := runCLI(t, "-device", "p100", "-n", "4096", "-products", "2")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "config,bs,g,r,seconds,dyn_power_w,dyn_energy_j,gflops,fetch_active" {
+		t.Errorf("header %q", lines[0])
+	}
+	if len(lines) < 30 {
+		t.Errorf("%d rows, want a full sweep", len(lines)-1)
+	}
+}
+
+func TestSweepFronts(t *testing.T) {
+	out, _, code := runCLI(t, "-device", "k40c", "-n", "10240", "-products", "8", "-fronts")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "# rank 0 (1 points):") {
+		t.Errorf("K40c rank-0 should be a single point:\n%s", out)
+	}
+	if !strings.Contains(out, "tradeoff") {
+		t.Error("trade-off lines missing")
+	}
+}
+
+func TestSweepJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	_, _, code := runCLI(t, "-device", "p100", "-n", "4096", "-products", "2", "-json", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rec, err := store.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Device != "NVIDIA P100 PCIe" || rec.Workload.N != 4096 {
+		t.Errorf("record %+v", rec)
+	}
+}
+
+func TestUnknownDevice(t *testing.T) {
+	_, errOut, code := runCLI(t, "-device", "gtx480")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "unknown device") {
+		t.Errorf("stderr %q", errOut)
+	}
+}
+
+func TestBadWorkload(t *testing.T) {
+	_, _, code := runCLI(t, "-n", "0")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}

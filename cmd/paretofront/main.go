@@ -1,0 +1,131 @@
+// Command paretofront computes bi-objective Pareto fronts and trade-offs
+// from a CSV of configurations. Input rows are "label,time,energy" (a
+// header line is skipped if its numeric fields do not parse); input comes
+// from a file argument or stdin.
+//
+// Usage:
+//
+//	gpusweep -device p100 -n 10240 | paretofront -ranks
+//	paretofront points.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"energyprop/internal/pareto"
+)
+
+func main() {
+	ranks := flag.Bool("ranks", false, "print all non-dominated ranks, not only the global front")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paretofront: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	points, err := readPoints(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paretofront: %v\n", err)
+		os.Exit(1)
+	}
+	if len(points) == 0 {
+		fmt.Fprintln(os.Stderr, "paretofront: no data points")
+		os.Exit(1)
+	}
+
+	allRanks := pareto.Ranks(points)
+	limit := 1
+	if *ranks {
+		limit = len(allRanks)
+	}
+	for i := 0; i < limit && i < len(allRanks); i++ {
+		fmt.Printf("rank %d (%d points):\n", i, len(allRanks[i]))
+		tos, err := pareto.TradeOffs(allRanks[i])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paretofront: %v\n", err)
+			os.Exit(1)
+		}
+		for _, to := range tos {
+			fmt.Printf("  %-28s t=%.6g E=%.6g degradation=%.1f%% saving=%.1f%%\n",
+				to.Point.Label, to.Point.Time, to.Point.Energy,
+				to.PerfDegradationPct, to.EnergySavingPct)
+		}
+	}
+}
+
+// readPoints parses configuration outcomes from CSV. Two layouts are
+// accepted (auto-detected per line, header tolerated):
+//
+//   - plain:   label,time,energy
+//   - gpusweep: label,bs,g,r,seconds,dyn_power_w,dyn_energy_j,...
+//
+// The first field may be double-quoted (gpusweep quotes its config
+// labels, which contain commas).
+func readPoints(r io.Reader) ([]pareto.Point, error) {
+	var out []pareto.Point
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		label, rest, err := splitLabel(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fields := strings.Split(rest, ",")
+		var tIdx, eIdx int
+		switch {
+		case len(fields) >= 6:
+			// gpusweep layout: bs,g,r,seconds,power,energy,...
+			tIdx, eIdx = 3, 5
+		case len(fields) >= 2:
+			tIdx, eIdx = 0, 1
+		default:
+			return nil, fmt.Errorf("line %d: want label,time,energy", lineNo)
+		}
+		t, err1 := strconv.ParseFloat(strings.TrimSpace(fields[tIdx]), 64)
+		e, err2 := strconv.ParseFloat(strings.TrimSpace(fields[eIdx]), 64)
+		if err1 != nil || err2 != nil {
+			if lineNo == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("line %d: bad numeric fields", lineNo)
+		}
+		out = append(out, pareto.Point{Label: label, Time: t, Energy: e})
+	}
+	return out, sc.Err()
+}
+
+// splitLabel peels the first CSV field, honoring double quotes.
+func splitLabel(line string) (label, rest string, err error) {
+	if !strings.HasPrefix(line, "\"") {
+		i := strings.IndexByte(line, ',')
+		if i < 0 {
+			return "", "", fmt.Errorf("no comma in %q", line)
+		}
+		return line[:i], line[i+1:], nil
+	}
+	end := strings.Index(line[1:], "\"")
+	if end < 0 {
+		return "", "", fmt.Errorf("unterminated quote in %q", line)
+	}
+	label = line[1 : 1+end]
+	rest = line[1+end+1:]
+	rest = strings.TrimPrefix(rest, ",")
+	return label, rest, nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadPointsBasic(t *testing.T) {
+	in := "label,time,energy\nA,1.0,10\nB,2.0,5\n"
+	pts, err := readPoints(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("parsed %d points, want 2 (header skipped)", len(pts))
+	}
+	if pts[0].Label != "A" || pts[0].Time != 1 || pts[0].Energy != 10 {
+		t.Errorf("first point %+v", pts[0])
+	}
+}
+
+func TestReadPointsQuotedLabels(t *testing.T) {
+	in := "\"(BS=32, G=1, R=8)\",7.47,1330\n"
+	pts, err := readPoints(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("parsed %d points, want 1", len(pts))
+	}
+	if pts[0].Label != "(BS=32, G=1, R=8)" {
+		t.Errorf("label %q", pts[0].Label)
+	}
+	if pts[0].Time != 7.47 || pts[0].Energy != 1330 {
+		t.Errorf("point %+v", pts[0])
+	}
+}
+
+func TestReadPointsGpusweepLayout(t *testing.T) {
+	in := "config,bs,g,r,seconds,dyn_power_w,dyn_energy_j,gflops,fetch_active\n" +
+		"\"(BS=32, G=1, R=8)\",32,1,8,7.4696,178.06,1330.0,2300.4,false\n"
+	pts, err := readPoints(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("parsed %d points, want 1", len(pts))
+	}
+	if pts[0].Time != 7.4696 || pts[0].Energy != 1330.0 {
+		t.Errorf("gpusweep layout parsed as %+v", pts[0])
+	}
+}
+
+func TestReadPointsSkipsCommentsAndBlank(t *testing.T) {
+	in := "# comment\n\nA,1,2\n"
+	pts, err := readPoints(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("parsed %d points, want 1", len(pts))
+	}
+}
+
+func TestReadPointsErrors(t *testing.T) {
+	if _, err := readPoints(strings.NewReader("A,1\n")); err == nil {
+		t.Error("too few fields: want error")
+	}
+	if _, err := readPoints(strings.NewReader("A,1,2\nB,x,2\n")); err == nil {
+		t.Error("bad numeric on non-header line: want error")
+	}
+	if _, err := readPoints(strings.NewReader("\"unterminated,1,2\n")); err == nil {
+		t.Error("unterminated quote: want error")
+	}
+	if _, err := readPoints(strings.NewReader("nocomma\n")); err == nil {
+		t.Error("no comma: want error")
+	}
+}
+
+func TestSplitLabel(t *testing.T) {
+	label, rest, err := splitLabel("plain,1,2")
+	if err != nil || label != "plain" || rest != "1,2" {
+		t.Errorf("plain: %q %q %v", label, rest, err)
+	}
+	label, rest, err = splitLabel("\"a,b\",3,4")
+	if err != nil || label != "a,b" || rest != "3,4" {
+		t.Errorf("quoted: %q %q %v", label, rest, err)
+	}
+}

@@ -1,0 +1,81 @@
+package energyprop_test
+
+import (
+	"fmt"
+
+	"energyprop"
+)
+
+// Example demonstrates the core loop: sweep a workload's configurations
+// on a simulated GPU, test weak energy proportionality, and read off the
+// bi-objective trade-off.
+func Example() {
+	dev := energyprop.NewP100()
+	sweep, err := dev.Sweep(energyprop.MatMulWorkload{N: 10240, Products: 8})
+	if err != nil {
+		panic(err)
+	}
+	pts := make([]energyprop.Point, len(sweep))
+	for i, r := range sweep {
+		pts[i] = energyprop.Point{Label: r.Config.String(), Time: r.Seconds, Energy: r.DynEnergyJ}
+	}
+	rep, err := energyprop.AnalyzeWeakEP(pts, 0.025)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("weak EP holds: %v\n", rep.Holds)
+	fmt.Printf("front points: %d\n", len(rep.GlobalFront))
+	fmt.Printf("max saving: %.0f%% at %.1f%% degradation\n",
+		rep.BestTradeOff.EnergySavingPct, rep.BestTradeOff.PerfDegradationPct)
+	// Output:
+	// weak EP holds: false
+	// front points: 3
+	// max saving: 50% at 10.5% degradation
+}
+
+// ExampleTwoCoreModel evaluates the paper's Section III theorem: skewing
+// the utilization of two simple-EP cores strictly increases dynamic
+// energy.
+func ExampleTwoCoreModel() {
+	m := energyprop.TwoCoreModel{A: 1, B: 1}
+	res, err := m.Theorem(0.5, 0.3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("E1=%.1f E2=%.1f E3=%.1f\n",
+		res.E1.TotalEnergy, res.E2.TotalEnergy, res.E3.TotalEnergy)
+	fmt.Printf("E3 > E2 > E1: %v\n", res.HoldsE3GreaterE2 && res.HoldsE2GreaterE1)
+	// Output:
+	// E1=2.0 E2=2.6 E3=5.0
+	// E3 > E2 > E1: true
+}
+
+// ExampleAnalyzeStrongEP tests the strong-EP hypothesis E = c·W on a
+// deliberately nonlinear curve.
+func ExampleAnalyzeStrongEP() {
+	work := []float64{1, 2, 3, 4}
+	energy := []float64{1, 4, 9, 16} // quadratic: not proportional
+	rep, err := energyprop.AnalyzeStrongEP(work, energy, 0.025)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("strong EP holds: %v (E/W spread %.0fx)\n", rep.Holds, rep.RatioSpread)
+	// Output:
+	// strong EP holds: false (E/W spread 4x)
+}
+
+// ExampleFront computes a global Pareto front over configuration
+// outcomes.
+func ExampleFront() {
+	front := energyprop.Front([]energyprop.Point{
+		{Label: "fast", Time: 10, Energy: 100},
+		{Label: "slow-cheap", Time: 12, Energy: 60},
+		{Label: "dominated", Time: 13, Energy: 110},
+	})
+	for _, p := range front {
+		fmt.Println(p.Label)
+	}
+	// Output:
+	// fast
+	// slow-cheap
+}

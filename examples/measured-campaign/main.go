@@ -1,0 +1,74 @@
+// measured-campaign runs the full measurement methodology end to end: a
+// complete (BS, G, R) sweep on the simulated P100 where every data point
+// is obtained the way the paper obtains it — a time-varying power trace
+// sampled by a noisy WattsUp-style meter, repeated until the sample mean
+// lies in the 95% confidence interval at 2.5% precision — then persists
+// the campaign as JSON, reloads it, and runs the Pareto analysis on the
+// measured (not model-true) values.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"energyprop"
+	"energyprop/internal/campaign"
+	"energyprop/internal/gpusim"
+	"energyprop/internal/store"
+)
+
+func main() {
+	dev := gpusim.NewP100()
+	w := gpusim.MatMulWorkload{N: 10240, Products: 8}
+
+	fmt.Printf("measuring every configuration of %d products of %dx%d on %s...\n",
+		w.Products, w.N, w.N, dev.Spec.Name)
+	res, err := campaign.Run(dev, w, campaign.DefaultSpec(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campaign: %d configurations, %d total measured runs\n",
+		len(res.Points), res.TotalRuns)
+
+	// Persist and reload (the JSON a real campaign would leave on disk).
+	rec, err := res.Record()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := store.Save(&buf, rec); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("persisted %d bytes of JSON\n", buf.Len())
+	loaded, err := store.Load(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Analyze the measured campaign.
+	front := energyprop.Front(loaded.Points())
+	fmt.Printf("\nmeasured global Pareto front (%d points):\n", len(front))
+	tos, err := energyprop.TradeOffs(front)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, to := range tos {
+		fmt.Printf("  %-22s t=%7.3fs E=%8.1fJ (+%.1f%%, -%.1f%%)\n",
+			to.Point.Label, to.Point.Time, to.Point.Energy,
+			to.PerfDegradationPct, to.EnergySavingPct)
+	}
+
+	// How close did the measurements come to the model truth?
+	worst := 0.0
+	for _, p := range res.Points {
+		rel := (p.MeasuredEnergyJ - p.TrueEnergyJ) / p.TrueEnergyJ
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > worst {
+			worst = rel
+		}
+	}
+	fmt.Printf("\nworst measured-vs-true energy error: %.2f%% (precision target 2.5%%)\n", 100*worst)
+}

@@ -1,0 +1,98 @@
+// measurement-service starts the HTTP measurement daemon (the HCLWattsUp
+// as-a-lab-service analog) on a loopback port, then acts as its own
+// client: it lists the devices, requests a statistically converged
+// measurement of one configuration, and fetches a full measured sweep as
+// a JSON record — the workflow a measurement script would run against
+// cmd/epmeterd.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"energyprop"
+	"energyprop/internal/gpusim"
+	"energyprop/internal/service"
+	"energyprop/internal/store"
+)
+
+func main() {
+	// Serve on an ephemeral loopback port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: service.New().Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != http.ErrServerClosed {
+			log.Printf("server: %v", err)
+		}
+	}()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("measurement service on %s\n\n", base)
+
+	// 1. Device catalog.
+	resp, err := http.Get(base + "/devices")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var devices []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&devices); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, d := range devices {
+		fmt.Printf("device %-6v %v (TDP %v W)\n", d["name"], d["catalog_name"], d["tdp_watts"])
+	}
+
+	// 2. One converged measurement.
+	measureReq, err := json.Marshal(service.MeasureRequest{
+		Device:   "p100",
+		Workload: gpusim.MatMulWorkload{N: 10240, Products: 8},
+		Config:   gpusim.MatMulConfig{BS: 24, G: 1, R: 8},
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err = http.Post(base+"/measure", "application/json", bytes.NewReader(measureReq))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var meas service.MeasureResponse
+	if err := json.NewDecoder(resp.Body).Decode(&meas); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("\nmeasured %s on %s: %.1f J ± %.2f J over %d runs (t=%.3fs)\n",
+		meas.Config, meas.Device, meas.MeasuredEnergyJ, meas.HalfWidthJ, meas.Runs, meas.Seconds)
+
+	// 3. A full measured sweep, analyzed client-side.
+	sweepReq, err := json.Marshal(service.SweepRequest{
+		Device:   "p100",
+		Workload: gpusim.MatMulWorkload{N: 10240, Products: 8},
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err = http.Post(base+"/sweep", "application/json", bytes.NewReader(sweepReq))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := store.Load(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	front := energyprop.Front(rec.Points())
+	fmt.Printf("\nsweep of %d measured configurations; front:\n", len(rec.Results))
+	for _, p := range front {
+		fmt.Printf("  %-22s t=%7.3fs E=%8.1fJ\n", p.Label, p.Time, p.Energy)
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: sweep the paper's matrix-multiplication application on the
+// simulated P100, test weak energy proportionality, and print the
+// bi-objective trade-off the violation opens — the library's core loop in
+// ~40 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"energyprop"
+)
+
+func main() {
+	dev := energyprop.NewP100()
+	workload := energyprop.MatMulWorkload{N: 10240, Products: 8}
+
+	// Run every valid (BS, G, R) configuration solving the same workload.
+	sweep, err := dev.Sweep(workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	points := make([]energyprop.Point, len(sweep))
+	for i, r := range sweep {
+		points[i] = energyprop.Point{
+			Label:  r.Config.String(),
+			Time:   r.Seconds,
+			Energy: r.DynEnergyJ,
+		}
+	}
+
+	// Weak EP: is dynamic energy a constant across configurations?
+	rep, err := energyprop.AnalyzeWeakEP(points, 0.025)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device: %s, workload: %d products of %d x %d\n",
+		dev.Spec.Name, workload.Products, workload.N, workload.N)
+	fmt.Printf("configurations: %d, energy spread: %.0f%%, weak EP holds: %v\n",
+		len(points), rep.EnergySpreadPct, rep.Holds)
+
+	// The violation is an optimization opportunity: the Pareto front.
+	fmt.Printf("global Pareto front (%d points):\n", len(rep.GlobalFront))
+	tos, err := energyprop.TradeOffs(rep.GlobalFront)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, to := range tos {
+		fmt.Printf("  %-22s time %7.3fs  energy %8.1fJ  (+%.1f%% time, -%.1f%% energy)\n",
+			to.Point.Label, to.Point.Time, to.Point.Energy,
+			to.PerfDegradationPct, to.EnergySavingPct)
+	}
+	fmt.Printf("best trade-off: %.1f%% dynamic energy saving for %.1f%% performance degradation\n",
+		rep.BestTradeOff.EnergySavingPct, rep.BestTradeOff.PerfDegradationPct)
+}

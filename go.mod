@@ -1,0 +1,3 @@
+module energyprop
+
+go 1.22

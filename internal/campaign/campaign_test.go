@@ -1,0 +1,222 @@
+package campaign
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"energyprop/internal/gpusim"
+	"energyprop/internal/pareto"
+	"energyprop/internal/store"
+)
+
+// smallWorkload keeps campaign tests fast: few configurations.
+func smallWorkload() gpusim.MatMulWorkload {
+	return gpusim.MatMulWorkload{N: 4096, Products: 2}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, smallWorkload(), DefaultSpec(1)); err == nil {
+		t.Error("nil device: want error")
+	}
+	spec := DefaultSpec(1)
+	spec.NoiseFrac = -1
+	if _, err := Run(gpusim.NewP100(), smallWorkload(), spec); err == nil {
+		t.Error("negative noise: want error")
+	}
+	if _, err := Run(gpusim.NewP100(), gpusim.MatMulWorkload{N: 0, Products: 1}, DefaultSpec(1)); err == nil {
+		t.Error("bad workload: want error")
+	}
+}
+
+func TestCampaignMeasuresAccurately(t *testing.T) {
+	dev := gpusim.NewP100()
+	res, err := Run(dev, smallWorkload(), DefaultSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no points")
+	}
+	if res.TotalRuns < len(res.Points)*2 {
+		t.Error("each point needs repeated runs")
+	}
+	for _, p := range res.Points {
+		rel := math.Abs(p.MeasuredEnergyJ-p.TrueEnergyJ) / p.TrueEnergyJ
+		if rel > 0.05 {
+			t.Errorf("%v: measured %.1fJ vs true %.1fJ (%.1f%% off)",
+				p.Config, p.MeasuredEnergyJ, p.TrueEnergyJ, 100*rel)
+		}
+		if p.Runs < 2 {
+			t.Errorf("%v: %d runs, want >= 2", p.Config, p.Runs)
+		}
+	}
+}
+
+func TestCampaignDeterministicPerSeed(t *testing.T) {
+	dev := gpusim.NewP100()
+	a, err := Run(dev, smallWorkload(), DefaultSpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(dev, smallWorkload(), DefaultSpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if a.Points[i].MeasuredEnergyJ != b.Points[i].MeasuredEnergyJ {
+			t.Fatal("same seed must reproduce measurements")
+		}
+	}
+	c, err := Run(dev, smallWorkload(), DefaultSpec(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Points {
+		if a.Points[i].MeasuredEnergyJ != c.Points[i].MeasuredEnergyJ {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestCampaignUntracedMode(t *testing.T) {
+	spec := DefaultSpec(2)
+	spec.Traced = false
+	res, err := Run(gpusim.NewK40c(), smallWorkload(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no points")
+	}
+}
+
+func TestMeasuredFrontMatchesTrueFront(t *testing.T) {
+	// The methodology's point: measured values must support the same
+	// bi-objective conclusions as the ground truth.
+	dev := gpusim.NewP100()
+	w := gpusim.MatMulWorkload{N: 10240, Products: 8}
+	spec := DefaultSpec(7)
+	res, err := Run(dev, w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var measured, truth []pareto.Point
+	for _, p := range res.Points {
+		measured = append(measured, pareto.Point{
+			Label: p.Config.String(), Time: p.TrueSeconds, Energy: p.MeasuredEnergyJ})
+		truth = append(truth, pareto.Point{
+			Label: p.Config.String(), Time: p.TrueSeconds, Energy: p.TrueEnergyJ})
+	}
+	mf, tf := pareto.Front(measured), pareto.Front(truth)
+	if d := len(mf) - len(tf); d < -1 || d > 1 {
+		t.Errorf("measured front %d points vs true front %d", len(mf), len(tf))
+	}
+	mBest, err := pareto.BestTradeOff(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tBest, err := pareto.BestTradeOff(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mBest.EnergySavingPct-tBest.EnergySavingPct) > 5 {
+		t.Errorf("measured best saving %.1f%% vs true %.1f%%",
+			mBest.EnergySavingPct, tBest.EnergySavingPct)
+	}
+}
+
+func TestCampaignRobustToSpikes(t *testing.T) {
+	// With 3% transient spikes per sample, the robust pipeline (MAD
+	// rejection over the per-run energies) stays close to the truth.
+	dev := gpusim.NewP100()
+	spec := DefaultSpec(13)
+	spec.SpikeProb = 0.03
+	spec.Measure.RejectOutliersK = 3
+	spec.Measure.MinRuns = 8
+	res, err := Run(dev, smallWorkload(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		rel := math.Abs(p.MeasuredEnergyJ-p.TrueEnergyJ) / p.TrueEnergyJ
+		if rel > 0.08 {
+			t.Errorf("%v: measured %.1f vs true %.1f (%.1f%% off) under spikes",
+				p.Config, p.MeasuredEnergyJ, p.TrueEnergyJ, 100*rel)
+		}
+	}
+}
+
+func TestCompareConfigsDistinguishesFrontPoints(t *testing.T) {
+	// BS=24 vs BS=32 on the P100 differ in energy by ~2x: easily
+	// distinguishable; a configuration against itself is not.
+	dev := gpusim.NewP100()
+	w := gpusim.MatMulWorkload{N: 10240, Products: 8}
+	spec := DefaultSpec(11)
+	spec.Measure.MinRuns = 8
+	res, err := CompareConfigs(dev, w,
+		gpusim.MatMulConfig{BS: 24, G: 1, R: 8},
+		gpusim.MatMulConfig{BS: 32, G: 1, R: 8}, spec, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant {
+		t.Errorf("2x energy gap not detected: p=%v", res.PValue)
+	}
+	if res.MeanDiff >= 0 {
+		t.Error("BS=24 should be cheaper than BS=32")
+	}
+	same, err := CompareConfigs(dev, w,
+		gpusim.MatMulConfig{BS: 24, G: 1, R: 8},
+		gpusim.MatMulConfig{BS: 24, G: 1, R: 8}, spec, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Significant {
+		t.Errorf("identical configs flagged as different: p=%v", same.PValue)
+	}
+}
+
+func TestCompareConfigsValidation(t *testing.T) {
+	if _, err := CompareConfigs(nil, smallWorkload(),
+		gpusim.MatMulConfig{}, gpusim.MatMulConfig{}, DefaultSpec(1), 0.05); err == nil {
+		t.Error("nil device: want error")
+	}
+	dev := gpusim.NewP100()
+	if _, err := CompareConfigs(dev, smallWorkload(),
+		gpusim.MatMulConfig{BS: 99, G: 1, R: 2},
+		gpusim.MatMulConfig{BS: 8, G: 1, R: 2}, DefaultSpec(1), 0.05); err == nil {
+		t.Error("invalid config: want error")
+	}
+}
+
+func TestCampaignRecordRoundTrip(t *testing.T) {
+	dev := gpusim.NewK40c()
+	res, err := Run(dev, smallWorkload(), DefaultSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := res.Record()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := store.Save(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := store.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Results) != len(res.Points) {
+		t.Error("record round trip lost points")
+	}
+	empty := &Result{}
+	if _, err := empty.Record(); err == nil {
+		t.Error("empty result: want error")
+	}
+}

@@ -1,0 +1,71 @@
+package cpusim
+
+import (
+	"fmt"
+
+	"energyprop/internal/dense"
+	"energyprop/internal/fft"
+)
+
+// RunFFT2DThreaded runs the 2D FFT as a configurable load-balanced
+// threadgroup application through the same execution engine as the DGEMM
+// — the second application family of the weak-EP study the paper's
+// Section III builds on (Khokhriakov et al. analyzed both DGEMM and 2D
+// FFT variants). Rows (then columns) are divided equally among the
+// configuration's threads; the partition type changes the access pattern:
+// the cyclic partition interleaves rows across threads, which costs TLB
+// locality in the strided column pass.
+func (m *Machine) RunFFT2DThreaded(n int, cfg dense.Config) (*Result, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("cpusim: FFT size %d must be >= 2", n)
+	}
+	if err := cfg.Validate(n); err != nil {
+		return nil, err
+	}
+	cal := &m.cal
+	work := fft.Work(n)
+	threads := cfg.Threads()
+
+	// Equal flop shares (the row/column passes divide exactly).
+	flops := make([]float64, threads)
+	for i := range flops {
+		flops[i] = work / float64(threads)
+	}
+
+	// Traffic character: the FFT's bytes-per-flop follows the cache
+	// regimes of the strong-EP model; FFT butterflies also run at a lower
+	// fraction of peak than DGEMM kernels, which we express by inflating
+	// the per-flop cost (the engine's rate is calibrated for DGEMM).
+	signalBytes := 16 * float64(n) * float64(n)
+	l3 := float64(m.Spec.L3KB) * 1024
+	traffic := 2 * signalBytes
+	tlbFactor := 0.8
+	if signalBytes > l3 {
+		traffic = 4 * signalBytes
+		if 16*float64(n) > 64*1024 {
+			traffic *= 1.5
+		}
+		// The strided column pass touches one page per element row.
+		tlbFactor = 2.2
+	}
+	if cfg.Partition == dense.PartitionCyclic {
+		tlbFactor *= cal.cyclicTLBFactor
+	}
+	bytesPerFlop := traffic / work
+	// FFT compute efficiency relative to DGEMM: scale the flop shares up
+	// so the engine's DGEMM-calibrated rate yields FFT-realistic times.
+	const fftComputePenalty = 1 / 0.45
+	scaled := make([]float64, threads)
+	for i := range flops {
+		scaled[i] = flops[i] * fftComputePenalty
+	}
+
+	r, err := m.runThreads(cfg, PlacementGroupRoundRobin, scaled, bytesPerFlop/fftComputePenalty, 1.0, tlbFactor)
+	if err != nil {
+		return nil, err
+	}
+	r.App = GEMMApp{N: n, Config: cfg}
+	r.AppName = "fft2d"
+	r.GFLOPs = work / r.Seconds / 1e9
+	return r, nil
+}

@@ -1,0 +1,166 @@
+package cpusim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The paper obtains average CPU utilization from the /proc/stat interface:
+// "The first 'cpu' line aggregates the numbers in all of the other 'cpuN'
+// lines ... The numbers identify the amount of time the CPU has spent
+// performing different kinds of work." This file reproduces that code
+// path: the simulator renders before/after /proc/stat snapshots from its
+// per-core busy times, and the analysis parses them back exactly the way
+// a measurement script would.
+
+// jiffiesPerSecond is the classic USER_HZ.
+const jiffiesPerSecond = 100
+
+// StatSnapshot is a /proc/stat-style accounting of per-core jiffies.
+type StatSnapshot struct {
+	// User, System, Idle are per-logical-core cumulative jiffy counts.
+	User, System, Idle []uint64
+}
+
+// NewStatSnapshot returns a zeroed snapshot for the given core count.
+func NewStatSnapshot(cores int) *StatSnapshot {
+	return &StatSnapshot{
+		User:   make([]uint64, cores),
+		System: make([]uint64, cores),
+		Idle:   make([]uint64, cores),
+	}
+}
+
+// Advance accumulates `seconds` of wall time during which core i was busy
+// for utilization fraction util[i] (splitting busy time 90/10 between user
+// and system, as a compute-bound BLAS run does).
+func (s *StatSnapshot) Advance(seconds float64, util []float64) error {
+	if len(util) != len(s.User) {
+		return fmt.Errorf("cpusim: utilization vector has %d cores, snapshot has %d", len(util), len(s.User))
+	}
+	for i, u := range util {
+		if u < 0 || u > 1 {
+			return fmt.Errorf("cpusim: core %d utilization %v out of [0,1]", i, u)
+		}
+		busy := seconds * u * jiffiesPerSecond
+		s.User[i] += uint64(busy * 0.9)
+		s.System[i] += uint64(busy * 0.1)
+		s.Idle[i] += uint64(seconds * (1 - u) * jiffiesPerSecond)
+	}
+	return nil
+}
+
+// Render produces the /proc/stat text: one aggregate "cpu" line followed
+// by one "cpuN" line per logical core, with the canonical field order
+// (user nice system idle iowait irq softirq).
+func (s *StatSnapshot) Render() string {
+	var b strings.Builder
+	var tu, ts, ti uint64
+	for i := range s.User {
+		tu += s.User[i]
+		ts += s.System[i]
+		ti += s.Idle[i]
+	}
+	fmt.Fprintf(&b, "cpu  %d 0 %d %d 0 0 0\n", tu, ts, ti)
+	for i := range s.User {
+		fmt.Fprintf(&b, "cpu%d %d 0 %d %d 0 0 0\n", i, s.User[i], s.System[i], s.Idle[i])
+	}
+	return b.String()
+}
+
+// parsedStat is one parsed per-core line.
+type parsedStat struct{ busy, total uint64 }
+
+// parseProcStat extracts per-core busy/total jiffies from /proc/stat text,
+// skipping the aggregate line.
+func parseProcStat(text string) (map[int]parsedStat, error) {
+	out := map[int]parsedStat{}
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 5 || !strings.HasPrefix(fields[0], "cpu") || fields[0] == "cpu" {
+			continue
+		}
+		idx, err := strconv.Atoi(strings.TrimPrefix(fields[0], "cpu"))
+		if err != nil {
+			return nil, fmt.Errorf("cpusim: bad cpu line %q: %w", line, err)
+		}
+		var vals []uint64
+		for _, f := range fields[1:] {
+			v, err := strconv.ParseUint(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("cpusim: bad jiffy count in %q: %w", line, err)
+			}
+			vals = append(vals, v)
+		}
+		// user nice system idle iowait irq softirq [steal ...]; busy =
+		// everything except idle and iowait.
+		var busy, total uint64
+		for i, v := range vals {
+			total += v
+			if i != 3 && i != 4 {
+				busy += v
+			}
+		}
+		out[idx] = parsedStat{busy: busy, total: total}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cpusim: no cpuN lines found")
+	}
+	return out, nil
+}
+
+// AvgUtilizationFromProcStat computes the average CPU utilization (a
+// fraction in [0,1]) between two /proc/stat snapshots, exactly as the
+// paper's methodology does: per-core busy-delta over total-delta, averaged
+// over all logical cores.
+func AvgUtilizationFromProcStat(before, after string) (float64, error) {
+	b, err := parseProcStat(before)
+	if err != nil {
+		return 0, err
+	}
+	a, err := parseProcStat(after)
+	if err != nil {
+		return 0, err
+	}
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("cpusim: snapshots have different core counts (%d vs %d)", len(b), len(a))
+	}
+	sum, cores := 0.0, 0
+	for idx, bs := range b {
+		as, ok := a[idx]
+		if !ok {
+			return 0, fmt.Errorf("cpusim: core %d missing from second snapshot", idx)
+		}
+		db := float64(as.busy) - float64(bs.busy)
+		dt := float64(as.total) - float64(bs.total)
+		if dt <= 0 {
+			return 0, fmt.Errorf("cpusim: core %d has no elapsed jiffies", idx)
+		}
+		sum += db / dt
+		cores++
+	}
+	return sum / float64(cores), nil
+}
+
+// ProcStatPair renders the before/after /proc/stat texts for a run: the
+// "before" snapshot reflects an arbitrary prior uptime, the "after" adds
+// the run itself.
+func (m *Machine) ProcStatPair(r *Result) (before, after string, err error) {
+	cores := m.Spec.LogicalCores()
+	snap := NewStatSnapshot(cores)
+	// Prior uptime: 100 s of 2% background activity on every core.
+	background := make([]float64, cores)
+	for i := range background {
+		background[i] = 0.02
+	}
+	if err := snap.Advance(100, background); err != nil {
+		return "", "", err
+	}
+	before = snap.Render()
+	if err := snap.Advance(r.Seconds, r.CoreUtil); err != nil {
+		return "", "", err
+	}
+	after = snap.Render()
+	return before, after, nil
+}

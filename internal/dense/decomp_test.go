@@ -1,0 +1,216 @@
+package dense
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// quickConfig keeps property tests fast and deterministic in count.
+func quickConfig() *quick.Config {
+	return &quick.Config{MaxCount: 25}
+}
+
+func TestDecomposeContiguousCoversAllRows(t *testing.T) {
+	for _, tc := range []struct{ n, p, th int }{
+		{48, 4, 3}, {100, 7, 2}, {17, 1, 17}, {5, 5, 1}, {64, 2, 2},
+	} {
+		cfg := Config{Groups: tc.p, ThreadsPerGroup: tc.th, Partition: PartitionContiguous}
+		as, err := Decompose(tc.n, cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if len(as) != tc.p*tc.th {
+			t.Fatalf("%+v: %d assignments, want %d", tc, len(as), tc.p*tc.th)
+		}
+		covered := make([]int, tc.n)
+		total := 0
+		for _, a := range as {
+			for _, r := range a.Ranges {
+				for i := r[0]; i < r[1]; i++ {
+					covered[i]++
+				}
+				total += r[1] - r[0]
+			}
+		}
+		if total != tc.n {
+			t.Errorf("%+v: covered %d rows, want %d", tc, total, tc.n)
+		}
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("%+v: row %d covered %d times", tc, i, c)
+			}
+		}
+		if imb := MaxImbalance(as); imb > 1 {
+			t.Errorf("%+v: imbalance %d, want <= 1", tc, imb)
+		}
+	}
+}
+
+func TestDecomposeCyclicCoversAllRows(t *testing.T) {
+	cfg := Config{Groups: 3, ThreadsPerGroup: 4, Partition: PartitionCyclic}
+	as, err := Decompose(50, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make([]int, 50)
+	for _, a := range as {
+		if a.RowCount == 0 {
+			t.Errorf("thread (%d,%d) received no rows", a.Group, a.Thread)
+		}
+		for _, r := range a.Ranges {
+			for i := r[0]; i < r[1]; i++ {
+				covered[i]++
+			}
+		}
+	}
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("row %d covered %d times", i, c)
+		}
+	}
+	if imb := MaxImbalance(as); imb > 1 {
+		t.Errorf("imbalance %d, want <= 1", imb)
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	if _, err := Decompose(10, Config{Groups: 0, ThreadsPerGroup: 1}); err == nil {
+		t.Error("zero groups: want error")
+	}
+	if _, err := Decompose(4, Config{Groups: 5, ThreadsPerGroup: 1}); err == nil {
+		t.Error("more threads than rows: want error")
+	}
+	if _, err := Decompose(10, Config{Groups: 1, ThreadsPerGroup: 1, Partition: Partition(9)}); err == nil {
+		t.Error("unknown partition: want error")
+	}
+}
+
+func TestMaxImbalanceEmpty(t *testing.T) {
+	if MaxImbalance(nil) != 0 {
+		t.Error("empty decomposition imbalance should be 0")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := Config{Groups: 2, ThreadsPerGroup: 6, Partition: PartitionCyclic}
+	if got := c.String(); got != "(cyclic, p=2, t=6)" {
+		t.Errorf("String = %q", got)
+	}
+	if PartitionContiguous.String() != "contiguous" {
+		t.Error("partition name")
+	}
+	if Partition(7).String() != "Partition(7)" {
+		t.Error("unknown partition name")
+	}
+	if VariantPacked.String() == VariantTiled.String() {
+		t.Error("variant names must differ")
+	}
+}
+
+func TestParallelGemmMatchesNaive(t *testing.T) {
+	a := randomMatrix(t, 96, 80, 21)
+	b := randomMatrix(t, 80, 72, 22)
+	for _, part := range []Partition{PartitionContiguous, PartitionCyclic} {
+		for _, v := range []Variant{VariantPacked, VariantTiled} {
+			for _, cfg := range []Config{
+				{Groups: 1, ThreadsPerGroup: 1, Partition: part},
+				{Groups: 2, ThreadsPerGroup: 3, Partition: part},
+				{Groups: 4, ThreadsPerGroup: 2, Partition: part},
+				{Groups: 96, ThreadsPerGroup: 1, Partition: part},
+			} {
+				c0 := randomMatrix(t, 96, 72, 23)
+				want := c0.Clone()
+				if err := GemmNaive(1.25, a, b, -0.5, want); err != nil {
+					t.Fatal(err)
+				}
+				got := c0.Clone()
+				if err := ParallelGemm(cfg, v, 1.25, a, b, -0.5, got); err != nil {
+					t.Fatalf("%v %v: %v", cfg, v, err)
+				}
+				if d := got.MaxAbsDiff(want); d > 1e-10 {
+					t.Errorf("%v %v: max diff %v", cfg, v, d)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelGemmDeterministic(t *testing.T) {
+	a := randomMatrix(t, 64, 64, 31)
+	b := randomMatrix(t, 64, 64, 32)
+	cfg := Config{Groups: 4, ThreadsPerGroup: 4, Partition: PartitionContiguous}
+	c1 := MustMatrix(64, 64)
+	c2 := MustMatrix(64, 64)
+	if err := ParallelGemm(cfg, VariantTiled, 1, a, b, 0, c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ParallelGemm(cfg, VariantTiled, 1, a, b, 0, c2); err != nil {
+		t.Fatal(err)
+	}
+	if d := c1.MaxAbsDiff(c2); d != 0 {
+		t.Errorf("parallel result not deterministic: diff %v", d)
+	}
+}
+
+func TestParallelGemmErrors(t *testing.T) {
+	a := randomMatrix(t, 8, 8, 1)
+	b := randomMatrix(t, 8, 8, 2)
+	c := MustMatrix(8, 8)
+	bad := Config{Groups: 0, ThreadsPerGroup: 1}
+	if err := ParallelGemm(bad, VariantTiled, 1, a, b, 0, c); err == nil {
+		t.Error("bad config: want error")
+	}
+	cBad := MustMatrix(7, 8)
+	good := Config{Groups: 2, ThreadsPerGroup: 2}
+	if err := ParallelGemm(good, VariantTiled, 1, a, b, 0, cBad); err == nil {
+		t.Error("bad shape: want error")
+	}
+	if err := ParallelGemm(good, Variant(42), 1, a, b, 0, c); err == nil {
+		t.Error("bad variant propagates from worker: want error")
+	}
+}
+
+// Property: every decomposition covers each row exactly once.
+func TestDecomposePartitionProperty(t *testing.T) {
+	check := func(nRaw, pRaw, tRaw uint8, cyclic bool) bool {
+		n := int(nRaw)%200 + 1
+		p := int(pRaw)%8 + 1
+		th := int(tRaw)%8 + 1
+		if p*th > n {
+			return true
+		}
+		part := PartitionContiguous
+		if cyclic {
+			part = PartitionCyclic
+		}
+		as, err := Decompose(n, Config{Groups: p, ThreadsPerGroup: th, Partition: part})
+		if err != nil {
+			return false
+		}
+		covered := make([]int, n)
+		for _, a := range as {
+			cnt := 0
+			for _, r := range a.Ranges {
+				if r[0] < 0 || r[1] > n || r[0] >= r[1] {
+					return false
+				}
+				for i := r[0]; i < r[1]; i++ {
+					covered[i]++
+				}
+				cnt += r[1] - r[0]
+			}
+			if cnt != a.RowCount {
+				return false
+			}
+		}
+		for _, c := range covered {
+			if c != 1 {
+				return false
+			}
+		}
+		return MaxImbalance(as) <= 1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,114 @@
+package dense
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGemmSharedKernelMatchesNaive(t *testing.T) {
+	// Every BS from 1 to 32, including ones that do not divide n (the
+	// padded boundary path).
+	n := 48
+	a := randomMatrix(t, n, n, 1)
+	b := randomMatrix(t, n, n, 2)
+	want := MustMatrix(n, n)
+	if err := GemmNaive(1, a, b, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	for bs := 1; bs <= 32; bs++ {
+		c := MustMatrix(n, n)
+		if err := GemmSharedKernel(bs, a, b, c, 4); err != nil {
+			t.Fatalf("BS=%d: %v", bs, err)
+		}
+		if d := c.MaxAbsDiff(want); d > 1e-10 {
+			t.Errorf("BS=%d: max diff %v", bs, d)
+		}
+	}
+}
+
+func TestGemmSharedKernelAccumulates(t *testing.T) {
+	// Fig 5 line 19 accumulates (C += A·B): running the kernel twice
+	// doubles the result — the G/R repetition semantics.
+	n := 24
+	a := randomMatrix(t, n, n, 3)
+	b := randomMatrix(t, n, n, 4)
+	once := MustMatrix(n, n)
+	if err := GemmSharedKernel(8, a, b, once, 2); err != nil {
+		t.Fatal(err)
+	}
+	twice := MustMatrix(n, n)
+	for g := 0; g < 2; g++ {
+		if err := GemmSharedKernel(8, a, b, twice, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range once.Data {
+		if diff := twice.Data[i] - 2*once.Data[i]; diff > 1e-10 || diff < -1e-10 {
+			t.Fatalf("repetition is not additive at %d", i)
+		}
+	}
+}
+
+func TestGemmSharedKernelWorkerInvariance(t *testing.T) {
+	n := 40
+	a := randomMatrix(t, n, n, 5)
+	b := randomMatrix(t, n, n, 6)
+	ref := MustMatrix(n, n)
+	if err := GemmSharedKernel(16, a, b, ref, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 7, 100} {
+		c := MustMatrix(n, n)
+		if err := GemmSharedKernel(16, a, b, c, workers); err != nil {
+			t.Fatal(err)
+		}
+		if d := c.MaxAbsDiff(ref); d != 0 {
+			t.Errorf("workers=%d: result differs (max %v)", workers, d)
+		}
+	}
+}
+
+func TestGemmSharedKernelValidation(t *testing.T) {
+	a := randomMatrix(t, 8, 8, 1)
+	b := randomMatrix(t, 8, 8, 2)
+	c := MustMatrix(8, 8)
+	if err := GemmSharedKernel(0, a, b, c, 1); err == nil {
+		t.Error("BS=0: want error")
+	}
+	if err := GemmSharedKernel(33, a, b, c, 1); err == nil {
+		t.Error("BS=33: want error")
+	}
+	if err := GemmSharedKernel(8, a, b, c, 0); err == nil {
+		t.Error("groups=0: want error")
+	}
+	rect := randomMatrix(t, 8, 4, 3)
+	cRect := MustMatrix(8, 4)
+	sq := randomMatrix(t, 4, 4, 4)
+	if err := GemmSharedKernel(4, rect, sq, cRect, 1); err == nil {
+		t.Error("non-square: want error")
+	}
+}
+
+func TestGemmSharedKernelProperty(t *testing.T) {
+	// Random n and BS: the kernel always matches the oracle.
+	check := func(nRaw, bsRaw, seed uint8) bool {
+		n := int(nRaw)%40 + 2
+		bs := int(bsRaw)%32 + 1
+		a := MustMatrix(n, n)
+		b := MustMatrix(n, n)
+		a.FillRandom(int64(seed))
+		b.FillRandom(int64(seed) + 1)
+		want := MustMatrix(n, n)
+		if err := GemmNaive(1, a, b, 0, want); err != nil {
+			return false
+		}
+		got := MustMatrix(n, n)
+		if err := GemmSharedKernel(bs, a, b, got, 3); err != nil {
+			return false
+		}
+		return got.MaxAbsDiff(want) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

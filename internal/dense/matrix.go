@@ -1,0 +1,122 @@
+// Package dense provides real dense linear algebra: a row-major matrix
+// type and serial, blocked, and parallel DGEMM implementations including
+// the paper's threadgroup decomposition (Fig 3), where matrices A and C are
+// horizontally partitioned among p threadgroups of t threads each, matrix B
+// is shared, threads are independent, and every thread receives an equal
+// share of the workload. Two tuned variants — a packing ("MKL-like") and a
+// tiling ("OpenBLAS-like") kernel — stand in for the two BLAS libraries the
+// paper's Fig 4 compares.
+package dense
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	// Data holds the elements in row-major order; len(Data) == Rows*Cols.
+	Data []float64
+}
+
+// NewMatrix allocates a zero matrix of the given shape.
+func NewMatrix(rows, cols int) (*Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("dense: invalid shape %dx%d", rows, cols)
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}, nil
+}
+
+// MustMatrix is NewMatrix that panics on error; for tests and examples
+// with known-good shapes.
+func MustMatrix(rows, cols int) *Matrix {
+	m, err := NewMatrix(rows, cols)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// At returns the element at (i, j) without bounds checking beyond the
+// slice's own.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{Rows: m.Rows, Cols: m.Cols, Data: make([]float64, len(m.Data))}
+	copy(c.Data, m.Data)
+	return c
+}
+
+// FillRandom fills the matrix with deterministic uniform values in [-1, 1)
+// derived from the seed.
+func (m *Matrix) FillRandom(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+}
+
+// FillIdentity zeroes the matrix and sets its main diagonal to 1. It
+// returns an error for non-square matrices.
+func (m *Matrix) FillIdentity() error {
+	if m.Rows != m.Cols {
+		return errors.New("dense: identity requires a square matrix")
+	}
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Set(i, i, 1)
+	}
+	return nil
+}
+
+// EqualApprox reports whether the two matrices have the same shape and all
+// elements within tol of each other.
+func (m *Matrix) EqualApprox(o *Matrix, tol float64) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i := range m.Data {
+		if math.Abs(m.Data[i]-o.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference, or +Inf
+// for shape mismatches.
+func (m *Matrix) MaxAbsDiff(o *Matrix) float64 {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return math.Inf(1)
+	}
+	max := 0.0
+	for i := range m.Data {
+		if d := math.Abs(m.Data[i] - o.Data[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// FrobeniusNorm returns sqrt(Σ x²).
+func (m *Matrix) FrobeniusNorm() float64 {
+	s := 0.0
+	for _, x := range m.Data {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// GEMMFlops returns the floating-point operation count of one C = αAB + βC
+// product of square matrices of size n, the paper's performance metric
+// numerator: 2·n³.
+func GEMMFlops(n int) float64 { return 2 * float64(n) * float64(n) * float64(n) }

@@ -1,0 +1,96 @@
+package dense
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewMatrixValidation(t *testing.T) {
+	if _, err := NewMatrix(0, 3); err == nil {
+		t.Error("zero rows: want error")
+	}
+	if _, err := NewMatrix(3, -1); err == nil {
+		t.Error("negative cols: want error")
+	}
+	m, err := NewMatrix(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Data) != 6 {
+		t.Errorf("len(Data) = %d, want 6", len(m.Data))
+	}
+}
+
+func TestMustMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustMatrix(0,0) should panic")
+		}
+	}()
+	MustMatrix(0, 0)
+}
+
+func TestAtSet(t *testing.T) {
+	m := MustMatrix(3, 4)
+	m.Set(2, 1, 7.5)
+	if m.At(2, 1) != 7.5 {
+		t.Error("At/Set round trip")
+	}
+	if m.Data[2*4+1] != 7.5 {
+		t.Error("row-major layout")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := MustMatrix(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone must deep-copy")
+	}
+}
+
+func TestFillRandomDeterministic(t *testing.T) {
+	a := MustMatrix(5, 5)
+	b := MustMatrix(5, 5)
+	a.FillRandom(9)
+	b.FillRandom(9)
+	if !a.EqualApprox(b, 0) {
+		t.Error("same seed must produce identical fill")
+	}
+	b.FillRandom(10)
+	if a.EqualApprox(b, 0) {
+		t.Error("different seeds should differ")
+	}
+	for _, x := range a.Data {
+		if x < -1 || x >= 1 {
+			t.Fatalf("value %v out of [-1,1)", x)
+		}
+	}
+}
+
+func TestFillIdentityErrors(t *testing.T) {
+	m := MustMatrix(2, 3)
+	if err := m.FillIdentity(); err == nil {
+		t.Error("non-square identity: want error")
+	}
+}
+
+func TestEqualApproxShapeMismatch(t *testing.T) {
+	a := MustMatrix(2, 2)
+	b := MustMatrix(2, 3)
+	if a.EqualApprox(b, 1) {
+		t.Error("shape mismatch must not be equal")
+	}
+	if !math.IsInf(a.MaxAbsDiff(b), 1) {
+		t.Error("MaxAbsDiff of mismatched shapes should be +Inf")
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m := &Matrix{Rows: 1, Cols: 2, Data: []float64{3, 4}}
+	if got := m.FrobeniusNorm(); math.Abs(got-5) > 1e-14 {
+		t.Errorf("norm = %v, want 5", got)
+	}
+}

@@ -1,0 +1,183 @@
+// Package ep is the paper's primary contribution as a library: formal
+// definitions and analyzers for the strong and weak notions of energy
+// proportionality (EP) of modern microprocessors, the two-core theoretical
+// analysis of weak-EP violation (Section III, equations 1–3) with its
+// n-core generalization, and the EP metrics the related work quantifies
+// servers with.
+//
+// Definitions (Section I):
+//
+//   - Strong EP: dynamic energy increases linearly with work performed,
+//     E_d = c·W for a constant c.
+//
+//   - Weak EP: dynamic energy is a constant across all application
+//     configurations solving the same workload, given the configurations
+//     distribute the workload equally between parallel threads.
+//
+// A weak-EP violation is not only a negative result: it opens the
+// bi-objective optimization opportunity the analyzers here quantify via
+// internal/pareto.
+package ep
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"energyprop/internal/pareto"
+	"energyprop/internal/stats"
+)
+
+// StrongEPReport is the verdict on a dynamic-energy-versus-work series.
+type StrongEPReport struct {
+	// C is the least-squares proportionality constant of the through-
+	// origin fit E = C·W.
+	C float64
+	// MaxRelDeviation is max |E_i − C·W_i| / (C·W_i).
+	MaxRelDeviation float64
+	// RatioSpread is max(E/W) / min(E/W): 1 for a perfectly proportional
+	// system.
+	RatioSpread float64
+	// Tolerance is the relative deviation below which strong EP is
+	// considered to hold.
+	Tolerance float64
+	// Holds reports the verdict.
+	Holds bool
+}
+
+// AnalyzeStrongEP tests the strong-EP hypothesis E_d = c·W on paired
+// (work, energy) observations. tol is the maximum relative deviation from
+// proportionality consistent with strong EP (the paper's measurement
+// precision, 0.025, is a natural choice).
+func AnalyzeStrongEP(work, energy []float64, tol float64) (*StrongEPReport, error) {
+	if len(work) != len(energy) {
+		return nil, errors.New("ep: work and energy lengths differ")
+	}
+	if len(work) < 3 {
+		return nil, errors.New("ep: strong-EP analysis needs at least 3 points")
+	}
+	if tol <= 0 {
+		return nil, errors.New("ep: tolerance must be positive")
+	}
+	var swe, sww float64
+	minRatio, maxRatio := math.Inf(1), math.Inf(-1)
+	for i := range work {
+		if work[i] <= 0 || energy[i] <= 0 {
+			return nil, fmt.Errorf("ep: point %d has non-positive work or energy", i)
+		}
+		swe += work[i] * energy[i]
+		sww += work[i] * work[i]
+		r := energy[i] / work[i]
+		minRatio = math.Min(minRatio, r)
+		maxRatio = math.Max(maxRatio, r)
+	}
+	c := swe / sww
+	maxDev := 0.0
+	for i := range work {
+		pred := c * work[i]
+		if dev := math.Abs(energy[i]-pred) / pred; dev > maxDev {
+			maxDev = dev
+		}
+	}
+	return &StrongEPReport{
+		C:               c,
+		MaxRelDeviation: maxDev,
+		RatioSpread:     maxRatio / minRatio,
+		Tolerance:       tol,
+		Holds:           maxDev <= tol,
+	}, nil
+}
+
+// WeakEPReport is the verdict on a set of configurations solving the same
+// workload, together with the bi-objective opportunity the violation
+// opens.
+type WeakEPReport struct {
+	// EnergyCV is the coefficient of variation of dynamic energy across
+	// configurations (0 for a weakly energy-proportional system).
+	EnergyCV float64
+	// EnergySpreadPct is 100·(maxE − minE)/minE.
+	EnergySpreadPct float64
+	// Tolerance is the CV below which weak EP is considered to hold.
+	Tolerance float64
+	// Holds reports the verdict.
+	Holds bool
+	// GlobalFront is the Pareto front over (time, energy).
+	GlobalFront []pareto.Point
+	// OpportunityExists is true when the front has more than one point:
+	// the performance optimum is then not the energy optimum, so
+	// bi-objective optimization pays.
+	OpportunityExists bool
+	// BestTradeOff is the front's maximum energy saving and the
+	// performance degradation it costs (zero when no opportunity exists).
+	BestTradeOff pareto.TradeOff
+}
+
+// AnalyzeWeakEP tests the weak-EP hypothesis (dynamic energy constant
+// across same-workload configurations) and quantifies the resulting
+// bi-objective opportunity. tol is the energy coefficient of variation
+// consistent with weak EP.
+func AnalyzeWeakEP(points []pareto.Point, tol float64) (*WeakEPReport, error) {
+	if len(points) < 2 {
+		return nil, errors.New("ep: weak-EP analysis needs at least 2 configurations")
+	}
+	if tol <= 0 {
+		return nil, errors.New("ep: tolerance must be positive")
+	}
+	energies := stats.NewSample()
+	for i, p := range points {
+		if p.Time <= 0 || p.Energy <= 0 {
+			return nil, fmt.Errorf("ep: configuration %d has non-positive time or energy", i)
+		}
+		energies.Add(p.Energy)
+	}
+	spread, err := pareto.ComputeSpread(points)
+	if err != nil {
+		return nil, err
+	}
+	front := pareto.Front(points)
+	rep := &WeakEPReport{
+		EnergyCV:          energies.CV(),
+		EnergySpreadPct:   spread.EnergySpreadPct,
+		Tolerance:         tol,
+		GlobalFront:       front,
+		OpportunityExists: len(front) > 1,
+	}
+	rep.Holds = rep.EnergyCV <= tol
+	if rep.OpportunityExists {
+		best, err := pareto.BestTradeOff(front)
+		if err != nil {
+			return nil, err
+		}
+		rep.BestTradeOff = best
+	}
+	return rep, nil
+}
+
+// ProportionalRegion returns the subset of points (sorted by time) over
+// which dynamic energy increases monotonically with execution time — the
+// region where optimizing for performance alone also optimizes for
+// dynamic energy (Fig 2's top-right region). It returns the longest such
+// prefix starting from the fastest point.
+func ProportionalRegion(points []pareto.Point) []pareto.Point {
+	if len(points) == 0 {
+		return nil
+	}
+	sorted := append([]pareto.Point(nil), points...)
+	sortByTime(sorted)
+	out := []pareto.Point{sorted[0]}
+	for _, p := range sorted[1:] {
+		if p.Energy < out[len(out)-1].Energy {
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func sortByTime(ps []pareto.Point) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].Time < ps[j-1].Time; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package ep
+
+import (
+	"math"
+	"testing"
+
+	"energyprop/internal/pareto"
+)
+
+func TestAnalyzeStrongEPHoldsForProportionalData(t *testing.T) {
+	ws := []float64{1, 2, 3, 4, 5}
+	es := []float64{2, 4, 6, 8, 10}
+	rep, err := AnalyzeStrongEP(ws, es, 0.025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Error("exactly proportional data must satisfy strong EP")
+	}
+	if math.Abs(rep.C-2) > 1e-12 {
+		t.Errorf("C = %v, want 2", rep.C)
+	}
+	if math.Abs(rep.RatioSpread-1) > 1e-12 {
+		t.Errorf("RatioSpread = %v, want 1", rep.RatioSpread)
+	}
+}
+
+func TestAnalyzeStrongEPViolatedForNonlinearData(t *testing.T) {
+	// E grows quadratically with W.
+	var ws, es []float64
+	for w := 1.0; w <= 10; w++ {
+		ws = append(ws, w)
+		es = append(es, w*w)
+	}
+	rep, err := AnalyzeStrongEP(ws, es, 0.025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Holds {
+		t.Error("quadratic energy must violate strong EP")
+	}
+	if rep.RatioSpread < 5 {
+		t.Errorf("RatioSpread = %v, want large", rep.RatioSpread)
+	}
+}
+
+func TestAnalyzeStrongEPValidation(t *testing.T) {
+	if _, err := AnalyzeStrongEP([]float64{1, 2}, []float64{1}, 0.025); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := AnalyzeStrongEP([]float64{1, 2}, []float64{1, 2}, 0.025); err == nil {
+		t.Error("too few points: want error")
+	}
+	if _, err := AnalyzeStrongEP([]float64{1, 2, 3}, []float64{1, 2, 3}, 0); err == nil {
+		t.Error("zero tolerance: want error")
+	}
+	if _, err := AnalyzeStrongEP([]float64{1, 2, -3}, []float64{1, 2, 3}, 0.025); err == nil {
+		t.Error("negative work: want error")
+	}
+}
+
+func TestAnalyzeWeakEPHoldsForConstantEnergy(t *testing.T) {
+	pts := []pareto.Point{
+		{Time: 10, Energy: 100},
+		{Time: 12, Energy: 100.5},
+		{Time: 14, Energy: 99.5},
+	}
+	rep, err := AnalyzeWeakEP(pts, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Errorf("near-constant energy must satisfy weak EP (CV=%v)", rep.EnergyCV)
+	}
+}
+
+func TestAnalyzeWeakEPViolationWithOpportunity(t *testing.T) {
+	pts := []pareto.Point{
+		{Label: "fast", Time: 10, Energy: 200},
+		{Label: "slow", Time: 11.1, Energy: 100},
+		{Label: "bad", Time: 15, Energy: 250},
+	}
+	rep, err := AnalyzeWeakEP(pts, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Holds {
+		t.Error("wide energy spread must violate weak EP")
+	}
+	if !rep.OpportunityExists {
+		t.Error("front has 2 points: opportunity must exist")
+	}
+	if math.Abs(rep.BestTradeOff.EnergySavingPct-50) > 1e-9 {
+		t.Errorf("best saving = %v, want 50", rep.BestTradeOff.EnergySavingPct)
+	}
+	if math.Abs(rep.BestTradeOff.PerfDegradationPct-11) > 1e-9 {
+		t.Errorf("degradation = %v, want 11", rep.BestTradeOff.PerfDegradationPct)
+	}
+}
+
+func TestAnalyzeWeakEPNoOpportunityWhenOnePointFront(t *testing.T) {
+	// The fastest config is also the cheapest: violation without
+	// bi-objective opportunity (the K40c global-front situation).
+	pts := []pareto.Point{
+		{Label: "best", Time: 10, Energy: 100},
+		{Label: "worse", Time: 12, Energy: 150},
+		{Label: "worst", Time: 14, Energy: 220},
+	}
+	rep, err := AnalyzeWeakEP(pts, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Holds {
+		t.Error("energy spread must violate weak EP")
+	}
+	if rep.OpportunityExists {
+		t.Error("single-point front must report no opportunity")
+	}
+	if len(rep.GlobalFront) != 1 {
+		t.Errorf("front size %d, want 1", len(rep.GlobalFront))
+	}
+}
+
+func TestAnalyzeWeakEPValidation(t *testing.T) {
+	if _, err := AnalyzeWeakEP([]pareto.Point{{Time: 1, Energy: 1}}, 0.02); err == nil {
+		t.Error("single config: want error")
+	}
+	if _, err := AnalyzeWeakEP([]pareto.Point{{Time: 1, Energy: 1}, {Time: 0, Energy: 1}}, 0.02); err == nil {
+		t.Error("zero time: want error")
+	}
+	if _, err := AnalyzeWeakEP([]pareto.Point{{Time: 1, Energy: 1}, {Time: 2, Energy: 2}}, 0); err == nil {
+		t.Error("zero tolerance: want error")
+	}
+}
+
+func TestProportionalRegion(t *testing.T) {
+	pts := []pareto.Point{
+		{Label: "c", Time: 3, Energy: 30},
+		{Label: "a", Time: 1, Energy: 10},
+		{Label: "b", Time: 2, Energy: 20},
+		{Label: "d", Time: 4, Energy: 15}, // energy drops: region ends
+		{Label: "e", Time: 5, Energy: 40},
+	}
+	region := ProportionalRegion(pts)
+	if len(region) != 3 {
+		t.Fatalf("region size %d, want 3", len(region))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if region[i].Label != want {
+			t.Errorf("region[%d] = %s, want %s", i, region[i].Label, want)
+		}
+	}
+	if ProportionalRegion(nil) != nil {
+		t.Error("empty input should give nil region")
+	}
+}

@@ -1,0 +1,185 @@
+package ep
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file implements Section III: the first theoretical analysis of the
+// weak-EP violation of multicore CPUs. Two homogeneous cores share a power
+// supply and individually obey the simple EP model P = a·U with execution
+// time t = b/U; the application ends when the slower core does, so a core
+// that finishes early still burns its (lower) utilization for the full
+// duration in the average-utilization accounting the paper uses.
+//
+// The theorem (equations 1–3): for any utilization skew, total dynamic
+// energy strictly exceeds the balanced configuration's 2ab, and the
+// symmetric skew (one core +ΔU, one −ΔU — same average utilization!)
+// costs more than the one-sided increase:
+//
+//	E3 > E2 > E1 = 2ab.
+
+// TwoCoreModel is the simple-EP two-core system of Section III.
+type TwoCoreModel struct {
+	// A is the dynamic-power proportionality constant: P = A·U.
+	A float64
+	// B is the time constant: t = B/U for the workload share one core
+	// solves.
+	B float64
+}
+
+// Validate checks the model constants.
+func (m TwoCoreModel) Validate() error {
+	if m.A <= 0 || m.B <= 0 {
+		return fmt.Errorf("ep: two-core model constants must be positive, got a=%v b=%v", m.A, m.B)
+	}
+	return nil
+}
+
+// Scenario is the outcome of one two-core configuration.
+type Scenario struct {
+	// U1, U2 are the two cores' utilizations.
+	U1, U2 float64
+	// Seconds is the application time max(b/U1, b/U2).
+	Seconds float64
+	// CoreEnergy holds each core's dynamic energy a·U_i·Seconds.
+	CoreEnergy [2]float64
+	// TotalEnergy is the sum.
+	TotalEnergy float64
+}
+
+// scenario evaluates the model at the given utilizations.
+func (m TwoCoreModel) scenario(u1, u2 float64) (Scenario, error) {
+	if err := m.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	if u1 <= 0 || u1 > 1 || u2 <= 0 || u2 > 1 {
+		return Scenario{}, fmt.Errorf("ep: utilizations (%v, %v) must be in (0,1]", u1, u2)
+	}
+	t := math.Max(m.B/u1, m.B/u2)
+	e1 := m.A * u1 * t
+	e2 := m.A * u2 * t
+	return Scenario{
+		U1: u1, U2: u2,
+		Seconds:     t,
+		CoreEnergy:  [2]float64{e1, e2},
+		TotalEnergy: e1 + e2,
+	}, nil
+}
+
+// Balanced is equation (1): both cores at utilization u; the total dynamic
+// energy is exactly 2ab regardless of u.
+func (m TwoCoreModel) Balanced(u float64) (Scenario, error) {
+	return m.scenario(u, u)
+}
+
+// OneIncreased is equation (2): core 1 runs at u+du, core 2 stays at u.
+// Core 1 finishes early (t = b/u governs), so E = ab·(u+du)/u + ab > 2ab:
+// dynamic energy increases without improving performance.
+func (m TwoCoreModel) OneIncreased(u, du float64) (Scenario, error) {
+	if du <= 0 {
+		return Scenario{}, errors.New("ep: du must be positive")
+	}
+	return m.scenario(u+du, u)
+}
+
+// Skewed is equation (3): core 1 at u+du, core 2 at u−du — the same
+// average utilization as Balanced(u), yet
+// E = ab·(1 + (u+du)/(u−du)) > E2 > 2ab, and the application is slower
+// (t = b/(u−du)). Same average utilization, more energy, less performance:
+// the simple EP model cannot describe the pair.
+func (m TwoCoreModel) Skewed(u, du float64) (Scenario, error) {
+	if du <= 0 {
+		return Scenario{}, errors.New("ep: du must be positive")
+	}
+	if u-du <= 0 {
+		return Scenario{}, fmt.Errorf("ep: u-du = %v must stay positive", u-du)
+	}
+	return m.scenario(u+du, u-du)
+}
+
+// TheoremResult collects the three scenarios for one (u, du) and the
+// strict inequalities the theorem asserts.
+type TheoremResult struct {
+	E1, E2, E3 Scenario
+	// HoldsE2GreaterE1 and HoldsE3GreaterE2 report the strict
+	// inequalities E2 > E1 and E3 > E2.
+	HoldsE2GreaterE1, HoldsE3GreaterE2 bool
+}
+
+// Theorem evaluates equations (1)–(3) at (u, du) and checks
+// E3 > E2 > E1. Valid inputs require 0 < du < u and u+du <= 1.
+func (m TwoCoreModel) Theorem(u, du float64) (*TheoremResult, error) {
+	if u+du > 1 {
+		return nil, fmt.Errorf("ep: u+du = %v exceeds full utilization", u+du)
+	}
+	e1, err := m.Balanced(u)
+	if err != nil {
+		return nil, err
+	}
+	e2, err := m.OneIncreased(u, du)
+	if err != nil {
+		return nil, err
+	}
+	e3, err := m.Skewed(u, du)
+	if err != nil {
+		return nil, err
+	}
+	return &TheoremResult{
+		E1: e1, E2: e2, E3: e3,
+		HoldsE2GreaterE1: e2.TotalEnergy > e1.TotalEnergy,
+		HoldsE3GreaterE2: e3.TotalEnergy > e2.TotalEnergy,
+	}, nil
+}
+
+// GeneralizedEnergy is the paper's planned n-core extension (its "future
+// work" paragraph), provided here: n homogeneous simple-EP cores with
+// utilizations us solving equal workload shares. The application runs for
+// t = b/min(u) and each core burns a·u_i·t.
+func GeneralizedEnergy(a, b float64, us []float64) (totalEnergy, seconds float64, err error) {
+	if a <= 0 || b <= 0 {
+		return 0, 0, errors.New("ep: constants must be positive")
+	}
+	if len(us) == 0 {
+		return 0, 0, errors.New("ep: need at least one core")
+	}
+	minU := math.Inf(1)
+	for i, u := range us {
+		if u <= 0 || u > 1 {
+			return 0, 0, fmt.Errorf("ep: utilization %d = %v out of (0,1]", i, u)
+		}
+		minU = math.Min(minU, u)
+	}
+	t := b / minU
+	e := 0.0
+	for _, u := range us {
+		e += a * u * t
+	}
+	return e, t, nil
+}
+
+// BalancedIsOptimal reports whether the balanced configuration (all cores
+// at the mean utilization) consumes no more energy than the given skewed
+// configuration — the n-core generalization of the theorem. It returns the
+// two energies for inspection.
+func BalancedIsOptimal(a, b float64, us []float64) (balancedE, skewedE float64, optimal bool, err error) {
+	skewedE, _, err = GeneralizedEnergy(a, b, us)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	mean := 0.0
+	for _, u := range us {
+		mean += u
+	}
+	mean /= float64(len(us))
+	balanced := make([]float64, len(us))
+	for i := range balanced {
+		balanced[i] = mean
+	}
+	balancedE, _, err = GeneralizedEnergy(a, b, balanced)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return balancedE, skewedE, balancedE <= skewedE+1e-12*skewedE, nil
+}

@@ -1,0 +1,191 @@
+package ep
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBalancedEnergyIsTwoAB(t *testing.T) {
+	// Equation (1): E1 = 2ab for every utilization.
+	m := TwoCoreModel{A: 3, B: 5}
+	for _, u := range []float64{0.1, 0.25, 0.5, 0.9, 1.0} {
+		s, err := m.Balanced(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(s.TotalEnergy-2*3*5) > 1e-12 {
+			t.Errorf("u=%v: E1 = %v, want 30", u, s.TotalEnergy)
+		}
+		if s.CoreEnergy[0] != s.CoreEnergy[1] {
+			t.Errorf("u=%v: balanced cores should burn equal energy", u)
+		}
+	}
+}
+
+func TestOneIncreasedMatchesClosedForm(t *testing.T) {
+	// Equation (2): E2 = ab·(u+du)/u + ab.
+	m := TwoCoreModel{A: 2, B: 7}
+	u, du := 0.5, 0.2
+	s, err := m.OneIncreased(u, du)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab := m.A * m.B
+	want := ab*(u+du)/u + ab
+	if math.Abs(s.TotalEnergy-want) > 1e-12 {
+		t.Errorf("E2 = %v, want %v", s.TotalEnergy, want)
+	}
+	// Performance unchanged: application time still b/u.
+	if math.Abs(s.Seconds-m.B/u) > 1e-12 {
+		t.Errorf("t = %v, want %v (no performance improvement)", s.Seconds, m.B/u)
+	}
+}
+
+func TestSkewedMatchesClosedForm(t *testing.T) {
+	// Equation (3): E3 = ab·(1 + (u+du)/(u−du)), and the application gets
+	// slower: t = b/(u−du).
+	m := TwoCoreModel{A: 2, B: 7}
+	u, du := 0.5, 0.2
+	s, err := m.Skewed(u, du)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab := m.A * m.B
+	want := ab * (1 + (u+du)/(u-du))
+	if math.Abs(s.TotalEnergy-want) > 1e-12 {
+		t.Errorf("E3 = %v, want %v", s.TotalEnergy, want)
+	}
+	if math.Abs(s.Seconds-m.B/(u-du)) > 1e-12 {
+		t.Errorf("t = %v, want %v (performance decreases)", s.Seconds, m.B/(u-du))
+	}
+	// Same average utilization as the balanced case.
+	if math.Abs((s.U1+s.U2)/2-u) > 1e-12 {
+		t.Error("skewed case must preserve average utilization")
+	}
+}
+
+func TestTheoremStrictInequalities(t *testing.T) {
+	m := TwoCoreModel{A: 1, B: 1}
+	res, err := m.Theorem(0.6, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HoldsE2GreaterE1 || !res.HoldsE3GreaterE2 {
+		t.Errorf("theorem inequalities must hold: E1=%v E2=%v E3=%v",
+			res.E1.TotalEnergy, res.E2.TotalEnergy, res.E3.TotalEnergy)
+	}
+}
+
+func TestTheoremProperty(t *testing.T) {
+	// E3 > E2 > E1 for every valid (a, b, u, du).
+	check := func(aRaw, bRaw, uRaw, duRaw float64) bool {
+		a := 0.1 + math.Abs(math.Mod(aRaw, 10))
+		b := 0.1 + math.Abs(math.Mod(bRaw, 10))
+		u := 0.05 + math.Abs(math.Mod(uRaw, 0.9))
+		// du strictly inside (0, min(u, 1-u)).
+		lim := math.Min(u, 1-u)
+		if lim <= 1e-6 {
+			return true
+		}
+		du := math.Abs(math.Mod(duRaw, lim*0.999))
+		if du < 1e-9 {
+			du = lim / 2
+		}
+		m := TwoCoreModel{A: a, B: b}
+		res, err := m.Theorem(u, du)
+		if err != nil {
+			return false
+		}
+		return res.HoldsE2GreaterE1 && res.HoldsE3GreaterE2 &&
+			math.Abs(res.E1.TotalEnergy-2*a*b) < 1e-9*a*b
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTheoremValidation(t *testing.T) {
+	m := TwoCoreModel{A: 1, B: 1}
+	if _, err := m.Theorem(0.9, 0.2); err == nil {
+		t.Error("u+du > 1: want error")
+	}
+	if _, err := m.Theorem(0.2, 0.2); err == nil {
+		t.Error("u-du = 0: want error")
+	}
+	if _, err := m.OneIncreased(0.5, 0); err == nil {
+		t.Error("du=0: want error")
+	}
+	if _, err := m.Skewed(0.5, -0.1); err == nil {
+		t.Error("negative du: want error")
+	}
+	bad := TwoCoreModel{A: 0, B: 1}
+	if _, err := bad.Balanced(0.5); err == nil {
+		t.Error("a=0: want error")
+	}
+	if _, err := m.Balanced(0); err == nil {
+		t.Error("u=0: want error")
+	}
+	if _, err := m.Balanced(1.5); err == nil {
+		t.Error("u>1: want error")
+	}
+}
+
+func TestGeneralizedEnergyMatchesTwoCore(t *testing.T) {
+	m := TwoCoreModel{A: 2, B: 3}
+	s, err := m.Skewed(0.6, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, secs, err := GeneralizedEnergy(2, 3, []float64{0.8, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-s.TotalEnergy) > 1e-12 || math.Abs(secs-s.Seconds) > 1e-12 {
+		t.Errorf("generalized (%v, %v) != two-core (%v, %v)", e, secs, s.TotalEnergy, s.Seconds)
+	}
+}
+
+func TestGeneralizedEnergyValidation(t *testing.T) {
+	if _, _, err := GeneralizedEnergy(0, 1, []float64{0.5}); err == nil {
+		t.Error("a=0: want error")
+	}
+	if _, _, err := GeneralizedEnergy(1, 1, nil); err == nil {
+		t.Error("no cores: want error")
+	}
+	if _, _, err := GeneralizedEnergy(1, 1, []float64{0.5, 1.2}); err == nil {
+		t.Error("u>1: want error")
+	}
+}
+
+func TestBalancedIsOptimalProperty(t *testing.T) {
+	// The n-core generalization: equalizing utilizations never increases
+	// energy.
+	check := func(seed int64, n8 uint8) bool {
+		n := int(n8)%14 + 2
+		us := make([]float64, n)
+		x := seed
+		for i := range us {
+			x = x*6364136223846793005 + 1442695040888963407
+			us[i] = 0.05 + float64(uint64(x)>>11)/float64(1<<53)*0.9
+		}
+		_, _, optimal, err := BalancedIsOptimal(1.5, 2.5, us)
+		return err == nil && optimal
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalancedIsOptimalStrictWhenSkewed(t *testing.T) {
+	balE, skewE, optimal, err := BalancedIsOptimal(1, 1, []float64{0.9, 0.3, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !optimal {
+		t.Error("balanced must be optimal")
+	}
+	if skewE <= balE {
+		t.Errorf("skewed energy %v should strictly exceed balanced %v", skewE, balE)
+	}
+}

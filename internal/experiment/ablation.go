@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"energyprop/internal/gpusim"
+	"energyprop/internal/pareto"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "ablation",
+		Title: "Ablations: which modeled mechanism produces which paper finding",
+		Paper: "Design-choice ablations for the mechanisms DESIGN.md calls out (fetch engine, boost power, group effects)",
+		Run:   runAblation,
+	})
+}
+
+func runAblation(opt Options) ([]*Table, error) {
+	n := 10240
+	if opt.Quick {
+		n = 5120
+	}
+
+	// Ablation 1: the fetch engine vs Fig 6's non-additivity.
+	fetchT := &Table{
+		Title:   "Ablation: fetch-engine component vs energy additivity (P100, N=5120, BS=16, G=4)",
+		Columns: []string{"fetch_engine", "energy_j", "additive_pred_j", "excess_pct"},
+	}
+	for _, enabled := range []bool{true, false} {
+		d := gpusim.NewP100()
+		d.SetFetchEngine(enabled)
+		e1, err := d.RunMatMul(gpusim.MatMulWorkload{N: 5120, Products: 1},
+			gpusim.MatMulConfig{BS: 16, G: 1, R: 1})
+		if err != nil {
+			return nil, err
+		}
+		e4, err := d.RunMatMul(gpusim.MatMulWorkload{N: 5120, Products: 4},
+			gpusim.MatMulConfig{BS: 16, G: 4, R: 1})
+		if err != nil {
+			return nil, err
+		}
+		add := 4 * e1.DynEnergyJ
+		state := "on"
+		if !enabled {
+			state = "off"
+		}
+		fetchT.AddRow(state, f(e4.DynEnergyJ, 1), f(add, 1), f(100*(e4.DynEnergyJ/add-1), 1))
+	}
+	fetchT.AddNote("disabling the 58 W component removes the non-additivity entirely: it is the finding's sole cause in the model")
+
+	// Ablation 2: boost-clock power vs the P100 trade-off depth.
+	boostT := &Table{
+		Title:   "Ablation: boost-clock power vs P100 front depth (N=" + f(float64(n), 0) + ")",
+		Columns: []string{"boost_k", "front_points", "max_saving_pct", "at_degradation_pct", "p_bs32_w"},
+	}
+	for _, k := range []float64{-1, 0, 0.3, 1.2} { // -1 = calibrated default
+		d := gpusim.NewP100()
+		if k >= 0 {
+			d.SetBoostK(k)
+		}
+		results, err := d.Sweep(gpusim.MatMulWorkload{N: n, Products: 8})
+		if err != nil {
+			return nil, err
+		}
+		var pts []pareto.Point
+		var p32 float64
+		for _, r := range results {
+			pts = append(pts, pareto.Point{Label: r.Config.String(), Time: r.Seconds, Energy: r.DynEnergyJ})
+			if r.Config.BS == 32 && r.Config.G == 1 {
+				p32 = r.DynPowerW
+			}
+		}
+		front := pareto.Front(pts)
+		best, err := pareto.BestTradeOff(front)
+		if err != nil {
+			return nil, err
+		}
+		label := f(d.BoostK(), 2)
+		if k < 0 {
+			label += " (calibrated)"
+		}
+		boostT.AddRow(label, f(float64(len(front)), 0),
+			f(best.EnergySavingPct, 1), f(best.PerfDegradationPct, 1), f(p32, 1))
+	}
+	boostT.AddNote("the boost term shifts high-BS power; the staircase structure (front membership) comes from the measured per-BS profile")
+
+	// Ablation 3: group effects vs the K40c single-point global front.
+	groupT := &Table{
+		Title:   "Ablation: textual-group effects vs K40c global front (N=" + f(float64(n), 0) + ")",
+		Columns: []string{"group_effects", "global_front_points", "front_configs"},
+	}
+	for _, enabled := range []bool{true, false} {
+		d := gpusim.NewK40c()
+		if !enabled {
+			d.SetGroupEffects(0, 0)
+			d.SetFetchEngine(false)
+		}
+		results, err := d.Sweep(gpusim.MatMulWorkload{N: n, Products: 8})
+		if err != nil {
+			return nil, err
+		}
+		var pts []pareto.Point
+		for _, r := range results {
+			pts = append(pts, pareto.Point{Label: r.Config.String(), Time: r.Seconds, Energy: r.DynEnergyJ})
+		}
+		front := pareto.Front(pts)
+		labels := ""
+		for i, p := range front {
+			if i > 0 {
+				labels += "; "
+			}
+			labels += p.Label
+		}
+		state := "on"
+		if !enabled {
+			state = "off"
+		}
+		groupT.AddRow(state, f(float64(len(front)), 0), labels)
+	}
+	groupT.AddNote("without the group-repetition costs, G-variant configurations can join the front, breaking the paper's single-point result")
+
+	return []*Table{fetchT, boostT, groupT}, nil
+}

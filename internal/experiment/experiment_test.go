@@ -1,0 +1,183 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickOpt() Options { return Options{Seed: 1, Quick: true} }
+
+func TestRegistryContainsAllPaperArtifacts(t *testing.T) {
+	want := []string{
+		"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"summary", "theory", "methodology", "ablation", "dvfs",
+		"cpumodel", "campaign", "baseline", "search", "cpufft", "gpumodel",
+		"scheduler", "sensitivity", "fig4points", "relatedwork", "granularity",
+		"fig6app",
+	}
+	ids := IDs()
+	for _, id := range want {
+		found := false
+		for _, got := range ids {
+			if got == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("experiment %s not registered (have %v)", id, ids)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown id: want error")
+	}
+}
+
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, err := Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tables, err := e.Run(quickOpt())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tab := range tables {
+				if tab.Title == "" || len(tab.Columns) == 0 {
+					t.Errorf("table missing title or columns: %+v", tab)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Columns) {
+						t.Errorf("table %q row width %d != %d columns", tab.Title, len(row), len(tab.Columns))
+					}
+				}
+				if out := tab.Render(); !strings.Contains(out, tab.Title) {
+					t.Error("render must include the title")
+				}
+			}
+		})
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	for _, id := range []string{"fig7", "fig8", "methodology"} {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := e.Run(quickOpt())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.Run(quickOpt())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if renderAll(a) != renderAll(b) {
+			t.Errorf("%s: same seed must reproduce identical tables", id)
+		}
+	}
+}
+
+func renderAll(tables []*Table) string {
+	var b strings.Builder
+	for _, t := range tables {
+		b.WriteString(t.Render())
+	}
+	return b.String()
+}
+
+func TestRunAll(t *testing.T) {
+	tables, err := RunAll(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) < 12 {
+		t.Errorf("RunAll produced %d tables, want >= 12", len(tables))
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tab := &Table{Title: "T", Columns: []string{"a", "long_column"}}
+	tab.AddRow("xxxxxxxx", "1")
+	tab.AddNote("n=%d", 5)
+	out := tab.Render()
+	if !strings.Contains(out, "== T ==") {
+		t.Error("title banner missing")
+	}
+	if !strings.Contains(out, "note: n=5") {
+		t.Error("note missing")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatal("too few lines")
+	}
+	// Header and row should be equally wide (padded).
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("alignment broken: %q vs %q", lines[1], lines[2])
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tab := &Table{Title: "T", Columns: []string{"config", "v"}}
+	tab.AddRow("(BS=1, G=2, R=4)", "said \"hi\"")
+	csv := tab.CSV()
+	if !strings.Contains(csv, "\"(BS=1, G=2, R=4)\"") {
+		t.Errorf("comma cell not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, "\"said \"\"hi\"\"\"") {
+		t.Errorf("quote cell not escaped: %s", csv)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration should panic")
+		}
+	}()
+	Register(Experiment{ID: "table1", Title: "dup", Run: runTable1})
+}
+
+func TestFig7ReproducesHeadline(t *testing.T) {
+	e, err := Get("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := renderAll(tables)
+	// The global front table for each size must contain exactly one row
+	// (BS=32); check the note text asserts it.
+	if !strings.Contains(out, "(BS=32, G=1, R=8)") {
+		t.Error("K40c front should be the BS=32 configuration")
+	}
+	if !strings.Contains(out, "global front has 1 point(s)") {
+		t.Errorf("expected single-point global front note, got:\n%s", out)
+	}
+}
+
+func TestFig8ReproducesHeadline(t *testing.T) {
+	e, err := Get("fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := renderAll(tables)
+	if !strings.Contains(out, "3 front points") {
+		t.Errorf("expected 3-point P100 front note, got:\n%s", out)
+	}
+}

@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"energyprop/internal/counters"
+	"energyprop/internal/gpusim"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "fig6",
+		Title: "Fig 6: non-additivity of dynamic energy as G grows (P100 and K40c)",
+		Paper: "Dynamic energies highly non-additive at N=5120, shrinking to zero beyond N=15360 (P100) / N=10240 (K40c); times additive; excess attributable to a constant 58 W component",
+		Run:   runFig6,
+	})
+}
+
+func runFig6(opt Options) ([]*Table, error) {
+	sizes := []int{5120, 7168, 10240, 12288, 15360, 18432}
+	if opt.Quick {
+		sizes = []int{5120, 10240, 15360}
+	}
+	bs := 16
+	var tables []*Table
+	for _, dev := range []*gpusim.Device{gpusim.NewP100(), gpusim.NewK40c()} {
+		t := &Table{
+			Title: "Fig 6: energy additivity vs G, " + dev.Spec.Name + " (BS=16)",
+			Columns: []string{"n", "g", "time_s", "time_additive_ratio",
+				"dyn_energy_j", "additive_pred_j", "energy_excess_pct"},
+		}
+		for _, n := range sizes {
+			base, err := dev.RunMatMul(gpusim.MatMulWorkload{N: n, Products: 1},
+				gpusim.MatMulConfig{BS: bs, G: 1, R: 1})
+			if err != nil {
+				return nil, err
+			}
+			for _, g := range []int{1, 2, 3, 4} {
+				r, err := dev.RunMatMul(gpusim.MatMulWorkload{N: n, Products: g},
+					gpusim.MatMulConfig{BS: bs, G: g, R: 1})
+				if err != nil {
+					return nil, err
+				}
+				addE := float64(g) * base.DynEnergyJ
+				addT := float64(g) * base.Seconds
+				t.AddRow(f(float64(n), 0), f(float64(g), 0), f(r.Seconds, 4),
+					f(r.Seconds/addT, 3), f(r.DynEnergyJ, 1), f(addE, 1),
+					f(100*(r.DynEnergyJ/addE-1), 1))
+			}
+		}
+		t.AddNote("fetch-engine component: %.0f W while active; threshold N=%d",
+			dev.Spec.FetchEnginePowerW, dev.Spec.FetchEngineMaxN)
+		t.AddNote("reclassifying the %.0f W component as static restores additivity (paper Section V.A)",
+			dev.Spec.FetchEnginePowerW)
+		tables = append(tables, t)
+	}
+
+	// CUPTI-style additivity of event counts for the compound kernel: the
+	// Section IV selection step.
+	addT := &Table{
+		Title:   "Fig 6 companion: CUPTI-event additivity (P100, N=5120, G=2 compound)",
+		Columns: []string{"event", "rel_error", "additive_at_2pct"},
+	}
+	dev := gpusim.NewP100()
+	base, err := dev.RunMatMul(gpusim.MatMulWorkload{N: 5120, Products: 1},
+		gpusim.MatMulConfig{BS: bs, G: 1, R: 1})
+	if err != nil {
+		return nil, err
+	}
+	comp, err := dev.RunMatMul(gpusim.MatMulWorkload{N: 5120, Products: 2},
+		gpusim.MatMulConfig{BS: bs, G: 2, R: 1})
+	if err != nil {
+		return nil, err
+	}
+	baseC, err := counters.Collect(base.Profile, 1, base.Seconds, dev.Spec.BaseClockMHz, dev.Spec.SMs)
+	if err != nil {
+		return nil, err
+	}
+	compC, err := counters.Collect(comp.Profile, 2, comp.Seconds, dev.Spec.BaseClockMHz, dev.Spec.SMs)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := counters.Additivity(compC, baseC, baseC)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range counters.AllEvents() {
+		ok := "no"
+		if rep.RelError[e] <= 0.02 {
+			ok = "yes"
+		}
+		addT.AddRow(string(e), f(rep.RelError[e], 4), ok)
+	}
+	over := counters.Overflowed(compC)
+	names := ""
+	for i, e := range over {
+		if i > 0 {
+			names += ", "
+		}
+		names += string(e)
+	}
+	addT.AddNote("32-bit counter overflow at this size (paper: overflow for N > 2048): %s", names)
+	tables = append(tables, addT)
+	return tables, nil
+}

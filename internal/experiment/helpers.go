@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"fmt"
+
+	"energyprop/internal/gpusim"
+	"energyprop/internal/pareto"
+)
+
+// f formats a float with the given precision.
+func f(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// gpuSweepPoints runs the full (BS, G, R) sweep on a device and converts
+// results to pareto points, returning both.
+func gpuSweepPoints(dev *gpusim.Device, w gpusim.MatMulWorkload) ([]*gpusim.Result, []pareto.Point, error) {
+	results, err := dev.Sweep(w)
+	if err != nil {
+		return nil, nil, err
+	}
+	pts := make([]pareto.Point, len(results))
+	for i, r := range results {
+		pts[i] = pareto.Point{Label: r.Config.String(), Time: r.Seconds, Energy: r.DynEnergyJ}
+	}
+	return results, pts, nil
+}
+
+// filterBS keeps points whose config (by matching result order) has BS in
+// [lo, hi].
+func filterBS(results []*gpusim.Result, pts []pareto.Point, lo, hi int) []pareto.Point {
+	var out []pareto.Point
+	for i, r := range results {
+		if r.Config.BS >= lo && r.Config.BS <= hi {
+			out = append(out, pts[i])
+		}
+	}
+	return out
+}
+
+// frontTable renders a Pareto front with its trade-offs.
+func frontTable(title string, front []pareto.Point) (*Table, error) {
+	t := &Table{
+		Title:   title,
+		Columns: []string{"config", "time_s", "dyn_energy_j", "degradation_pct", "saving_pct"},
+	}
+	tos, err := pareto.TradeOffs(front)
+	if err != nil {
+		return nil, err
+	}
+	for _, to := range tos {
+		t.AddRow(to.Point.Label, f(to.Point.Time, 4), f(to.Point.Energy, 1),
+			f(to.PerfDegradationPct, 1), f(to.EnergySavingPct, 1))
+	}
+	return t, nil
+}

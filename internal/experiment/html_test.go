@@ -1,0 +1,32 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderHTMLSubset(t *testing.T) {
+	page, err := RenderHTML([]string{"theory"}, quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<!DOCTYPE html>", "</html>", "<svg", "fig1.svg",
+		"theory — Section III", "<table>", "E1_balanced",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	// Escaping: the theory table's paper line contains '>' which must be
+	// escaped inside text nodes.
+	if strings.Contains(page, "<p class=\"paper\">Paper: E1 = 2ab for the balanced configuration; any utilization skew strictly increases dynamic energy: E3 > E2 > E1</p>") {
+		t.Error("paper line should be HTML-escaped")
+	}
+}
+
+func TestRenderHTMLUnknownID(t *testing.T) {
+	if _, err := RenderHTML([]string{"nope"}, quickOpt()); err == nil {
+		t.Error("unknown id: want error")
+	}
+}

@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Markdown renders a table as GitHub-flavored markdown, and RenderReport
+// assembles a complete markdown report of experiment results — the
+// machine-written counterpart of EXPERIMENTS.md (epstudy -markdown).
+
+// Markdown renders the table as a GFM table followed by its notes.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// RenderReport runs the given experiments (all registered ones when ids is
+// empty) and assembles a markdown report with one section per experiment,
+// including each experiment's paper-comparison line.
+func RenderReport(ids []string, opt Options) (string, error) {
+	if len(ids) == 0 {
+		ids = IDs()
+	}
+	var b strings.Builder
+	b.WriteString("# energyprop experiment report\n\n")
+	fmt.Fprintf(&b, "Deterministic at seed %d. Regenerate any section with `epstudy -run <id>`.\n\n", opt.Seed)
+	for _, id := range ids {
+		e, err := Get(id)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "## %s — %s\n\n", e.ID, e.Title)
+		fmt.Fprintf(&b, "*Paper:* %s\n\n", e.Paper)
+		tables, err := e.Run(opt)
+		if err != nil {
+			return "", fmt.Errorf("experiment %s: %w", id, err)
+		}
+		for _, t := range tables {
+			b.WriteString(t.Markdown())
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,41 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableMarkdown(t *testing.T) {
+	tab := &Table{Title: "T", Columns: []string{"a", "b"}}
+	tab.AddRow("x|y", "2")
+	tab.AddNote("hello %d", 7)
+	md := tab.Markdown()
+	for _, want := range []string{
+		"### T", "| a | b |", "| --- | --- |", `x\|y`, "> hello 7",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q in:\n%s", want, md)
+		}
+	}
+}
+
+func TestRenderReportSubset(t *testing.T) {
+	report, err := RenderReport([]string{"theory", "table1"}, Options{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# energyprop experiment report",
+		"## theory —", "## table1 —", "*Paper:*", "| field | value |",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRenderReportUnknownID(t *testing.T) {
+	if _, err := RenderReport([]string{"nope"}, Options{Seed: 1, Quick: true}); err == nil {
+		t.Error("unknown id: want error")
+	}
+}

@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"energyprop/internal/cpusim"
+	"energyprop/internal/dense"
+	"energyprop/internal/ep"
+	"energyprop/internal/hw"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "relatedwork",
+		Title: "Section III context: why the prior literature saw linear P(U) and the paper does not",
+		Paper: "Fan et al. (dual-core) and Rivoire et al. (single-socket 8-core) observed near-linear power vs utilization; the same machine model reproduces their linearity on a legacy shape and the paper's non-functional scatter on the Haswell",
+		Run:   runRelatedWork,
+	})
+}
+
+func runRelatedWork(opt Options) ([]*Table, error) {
+	t := &Table{
+		Title: "Power-vs-utilization character by machine shape (same model, same application)",
+		Columns: []string{"machine", "configs", "linearity_r2",
+			"same_util_power_spread_pct", "ryckbosch_ep"},
+	}
+	type machineCase struct {
+		name string
+		m    *cpusim.Machine
+		n    int
+	}
+	legacy, err := cpusim.NewMachine(hw.LegacyXeon())
+	if err != nil {
+		return nil, err
+	}
+	nHaswell, nLegacy := 17408, 6144
+	if opt.Quick {
+		nHaswell, nLegacy = 4352, 2048
+	}
+	for _, mc := range []machineCase{
+		{"legacy single-socket Xeon", legacy, nLegacy},
+		{"dual-socket Haswell (paper)", cpusim.NewHaswell(), nHaswell},
+	} {
+		var utils, powers []float64
+		for _, cfg := range mc.m.EnumerateConfigs() {
+			r, err := mc.m.RunGEMM(cpusim.GEMMApp{N: mc.n, Config: cfg, Variant: dense.VariantPacked})
+			if err != nil {
+				return nil, err
+			}
+			utils = append(utils, r.AvgUtil)
+			powers = append(powers, r.DynPowerW)
+		}
+		r2, err := ep.LinearityR2(utils, powers)
+		if err != nil {
+			return nil, err
+		}
+		spread, err := ep.FunctionalSpread(utils, powers, 0.05)
+		if err != nil {
+			return nil, err
+		}
+		score, err := ep.RyckboschEP(utils, powers)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(mc.name, f(float64(len(utils)), 0), f(r2, 3), f(100*spread, 0), f(score, 2))
+	}
+	t.AddNote("one socket, no hyperthreading, negligible dTLB: utilization determines power almost functionally — the regime the simple EP model was fitted to")
+	t.AddNote("two sockets + hyperthreads + dTLB: the same mechanisms produce the paper's non-functional cloud; nothing about the application changed")
+	return []*Table{t}, nil
+}

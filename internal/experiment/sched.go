@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"energyprop/internal/gpusim"
+	"energyprop/internal/sched"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "scheduler",
+		Title: "Downstream scenario: energy-aware configuration choice under deadlines",
+		Paper: "The practical payoff of the weak-EP finding: in a dynamic environment with time constraints, choosing configurations bi-objectively saves energy at zero deadline cost (P100) and is a no-op where the front is a single point (K40c)",
+		Run:   runScheduler,
+	})
+}
+
+func runScheduler(opt Options) ([]*Table, error) {
+	sizes := []int{8192, 10240}
+	count := 20
+	if opt.Quick {
+		sizes = []int{4096}
+		count = 8
+	}
+	t := &Table{
+		Title: "Job-stream outcomes per policy (deadline slack up to 15%)",
+		Columns: []string{"device", "policy", "jobs", "deadline_misses",
+			"total_time_s", "total_energy_j", "saving_vs_perf_pct"},
+	}
+	for _, dev := range []*gpusim.Device{gpusim.NewP100(), gpusim.NewK40c()} {
+		jobs, err := sched.Stream(dev, sizes, 8, count, 1.15, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		perf, err := sched.RunStream(dev, jobs, sched.PerformancePolicy{})
+		if err != nil {
+			return nil, err
+		}
+		energy, err := sched.RunStream(dev, jobs, sched.NewEnergyPolicy())
+		if err != nil {
+			return nil, err
+		}
+		for _, rep := range []*sched.StreamReport{perf, energy} {
+			saving := 100 * (1 - rep.TotalEnergyJ/perf.TotalEnergyJ)
+			t.AddRow(dev.Spec.Name, rep.Policy, f(float64(len(jobs)), 0),
+				f(float64(rep.DeadlineMiss), 0), f(rep.TotalTimeS, 2),
+				f(rep.TotalEnergyJ, 0), f(saving, 1))
+		}
+	}
+	t.AddNote("the energy-aware policy exploits the P100's trade-off region; on the K40c (single-point front) it rightly changes nothing")
+	return []*Table{t}, nil
+}

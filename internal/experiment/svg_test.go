@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSVGFiguresRender(t *testing.T) {
+	figs, err := SVGFigures(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"fig1.svg", "fig2.svg", "fig4.svg", "fig6.svg", "fig7.svg", "fig8.svg"}
+	if len(figs) != len(want) {
+		t.Fatalf("got %d figures, want %d", len(figs), len(want))
+	}
+	for _, name := range want {
+		svg, ok := figs[name]
+		if !ok {
+			t.Errorf("missing %s", name)
+			continue
+		}
+		if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+			t.Errorf("%s: not a complete SVG document", name)
+		}
+		if len(svg) < 500 {
+			t.Errorf("%s: suspiciously small (%d bytes)", name, len(svg))
+		}
+	}
+	// The front figures must include square markers (the paper's
+	// convention for Pareto points) and circle clouds.
+	for _, name := range []string{"fig2.svg", "fig7.svg", "fig8.svg"} {
+		if !strings.Contains(figs[name], "<circle") {
+			t.Errorf("%s: missing configuration cloud", name)
+		}
+		if !strings.Contains(figs[name], "Pareto front") {
+			t.Errorf("%s: missing front legend", name)
+		}
+	}
+}
+
+func TestSVGFiguresDeterministic(t *testing.T) {
+	a, err := SVGFigures(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SVGFigures(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range a {
+		if a[name] != b[name] {
+			t.Errorf("%s: not deterministic", name)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package experiment
+
+import "energyprop/internal/hw"
+
+func init() {
+	Register(Experiment{
+		ID:    "table1",
+		Title: "Table I: platform specifications",
+		Paper: "Specifications of the Intel Haswell multicore CPU, Nvidia K40c, and Nvidia P100 PCIe",
+		Run:   runTable1,
+	})
+}
+
+func runTable1(Options) ([]*Table, error) {
+	t := &Table{
+		Title:   "Table I: specifications of the three platforms",
+		Columns: []string{"field", "value"},
+	}
+	for _, row := range hw.TableI() {
+		t.AddRow(row.Field, row.Value)
+	}
+	return []*Table{t}, nil
+}

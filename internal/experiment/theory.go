@@ -1,0 +1,67 @@
+package experiment
+
+import "energyprop/internal/ep"
+
+func init() {
+	Register(Experiment{
+		ID:    "theory",
+		Title: "Section III: two-core nonproportionality theorem (equations 1-3)",
+		Paper: "E1 = 2ab for the balanced configuration; any utilization skew strictly increases dynamic energy: E3 > E2 > E1",
+		Run:   runTheory,
+	})
+}
+
+func runTheory(Options) ([]*Table, error) {
+	m := ep.TwoCoreModel{A: 1, B: 1}
+	t := &Table{
+		Title: "Eq 1-3: dynamic energy of two simple-EP cores (a=b=1)",
+		Columns: []string{"u", "du", "E1_balanced", "E2_one_increased",
+			"E3_skewed", "t1_s", "t3_s", "holds_E3>E2>E1"},
+	}
+	for _, c := range []struct{ u, du float64 }{
+		{0.3, 0.1}, {0.5, 0.1}, {0.5, 0.3}, {0.7, 0.2}, {0.9, 0.05},
+	} {
+		res, err := m.Theorem(c.u, c.du)
+		if err != nil {
+			return nil, err
+		}
+		holds := "yes"
+		if !res.HoldsE2GreaterE1 || !res.HoldsE3GreaterE2 {
+			holds = "NO"
+		}
+		t.AddRow(f(c.u, 2), f(c.du, 2), f(res.E1.TotalEnergy, 4),
+			f(res.E2.TotalEnergy, 4), f(res.E3.TotalEnergy, 4),
+			f(res.E1.Seconds, 3), f(res.E3.Seconds, 3), holds)
+	}
+	t.AddNote("E3 keeps the same average utilization as E1 yet burns more energy and runs slower: dynamic power cannot be a function of average utilization")
+
+	// n-core generalization (the paper's stated future work).
+	g := &Table{
+		Title:   "n-core generalization: balanced utilization minimizes energy",
+		Columns: []string{"utilizations", "skewed_energy", "balanced_energy", "balanced_optimal"},
+	}
+	for _, us := range [][]float64{
+		{0.8, 0.4},
+		{0.9, 0.6, 0.3},
+		{0.7, 0.7, 0.7, 0.7},
+		{0.95, 0.15, 0.55, 0.35, 0.75},
+	} {
+		balE, skewE, optimal, err := ep.BalancedIsOptimal(1, 1, us)
+		if err != nil {
+			return nil, err
+		}
+		label := ""
+		for i, u := range us {
+			if i > 0 {
+				label += " "
+			}
+			label += f(u, 2)
+		}
+		ok := "yes"
+		if !optimal {
+			ok = "NO"
+		}
+		g.AddRow(label, f(skewE, 4), f(balE, 4), ok)
+	}
+	return []*Table{t, g}, nil
+}

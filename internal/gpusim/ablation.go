@@ -1,0 +1,66 @@
+package gpusim
+
+// Ablation hooks: DESIGN.md calls out three calibrated mechanisms behind
+// the paper's GPU findings — the fetch-engine component (Fig 6's
+// non-additivity), the boost-clock power term (part of the high-BS energy
+// rise), and the icache/group coupling. These switches let the ablation
+// experiment (and downstream users) turn each off and observe which
+// finding disappears.
+
+// SetFetchEngine enables or disables the constant-power fetch-engine
+// component. Disabling it makes compound-kernel dynamic energy additive at
+// every size.
+func (d *Device) SetFetchEngine(enabled bool) {
+	d.fetchDisabled = !enabled
+}
+
+// SetBoostK overrides the boost-clock power coefficient (0 disables the
+// term). The calibrated defaults are 0.35 (K40c) and 0.6 (P100).
+func (d *Device) SetBoostK(k float64) {
+	if k < 0 {
+		k = 0
+	}
+	d.cal.boostK = k
+}
+
+// BoostK returns the current boost-clock power coefficient.
+func (d *Device) BoostK() float64 { return d.cal.boostK }
+
+// SetGroupEffects overrides the per-extra-group slowdown and core-power
+// inflation (textual repetition effects). Zeroing both makes G a pure
+// loop-unrolling choice.
+func (d *Device) SetGroupEffects(icachePerGroup, powerPerGroup float64) {
+	if icachePerGroup < 0 {
+		icachePerGroup = 0
+	}
+	if powerPerGroup < 0 {
+		powerPerGroup = 0
+	}
+	d.cal.icachePerGroup = icachePerGroup
+	d.cal.groupPowerPerExtra = powerPerGroup
+}
+
+// ScaleTradeoffPower multiplies the calibrated core-power modifiers of the
+// trade-off region (BS 21..32) by the given factor — the sensitivity
+// knob for "what if the measured high-BS power rise were X% different?".
+// The proportional region (BS <= 20) is untouched.
+func (d *Device) ScaleTradeoffPower(factor float64) {
+	if factor <= 0 {
+		factor = 1
+	}
+	for bs := 21; bs <= MaxBS; bs++ {
+		d.cal.powerMod[bs] *= factor
+	}
+}
+
+// ScaleTradeoffPerf multiplies the calibrated performance modifiers of the
+// trade-off region (BS 21..32) by the given factor — the sensitivity knob
+// for the measured throughput profile.
+func (d *Device) ScaleTradeoffPerf(factor float64) {
+	if factor <= 0 {
+		factor = 1
+	}
+	for bs := 21; bs <= MaxBS; bs++ {
+		d.cal.perfMod[bs] *= factor
+	}
+}

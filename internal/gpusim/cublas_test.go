@@ -1,0 +1,72 @@
+package gpusim
+
+import "testing"
+
+func TestCUBLASValidation(t *testing.T) {
+	d := NewP100()
+	if _, err := d.RunCUBLASDGEMM(MatMulWorkload{N: 0, Products: 1}); err == nil {
+		t.Error("bad workload: want error")
+	}
+	if _, err := d.RunCUBLASDGEMM(MatMulWorkload{N: 16, Products: 1}); err == nil {
+		t.Error("N below BS range: want error")
+	}
+}
+
+func TestCUBLASFasterThanEveryConfig(t *testing.T) {
+	for _, d := range []*Device{NewK40c(), NewP100()} {
+		w := MatMulWorkload{N: 8192, Products: 8}
+		lib, err := d.RunCUBLASDGEMM(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweep, err := d.Sweep(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range sweep {
+			if lib.Seconds >= r.Seconds {
+				t.Errorf("%s: library (%.3fs) not faster than %v (%.3fs)",
+					d.Spec.Name, lib.Seconds, r.Config, r.Seconds)
+				break
+			}
+		}
+	}
+}
+
+func TestCUBLASWithinTDPEnvelope(t *testing.T) {
+	for _, d := range []*Device{NewK40c(), NewP100()} {
+		lib, err := d.RunCUBLASDGEMM(MatMulWorkload{N: 10240, Products: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lib.DynPowerW > d.Spec.TDPWatts-d.Spec.IdlePowerW+1e-9 {
+			t.Errorf("%s: library power %.1f exceeds TDP envelope", d.Spec.Name, lib.DynPowerW)
+		}
+		if lib.DynPowerW <= 0 || lib.DynEnergyJ <= 0 {
+			t.Errorf("%s: non-positive outputs", d.Spec.Name)
+		}
+	}
+}
+
+func TestCUBLASOffersNoTradeOff(t *testing.T) {
+	// The point of the paper's design choice: the library gives one point;
+	// the tunable kernel gives a front. On the P100 the tunable kernel's
+	// energy-optimal configuration beats the library on energy.
+	d := NewP100()
+	w := MatMulWorkload{N: 10240, Products: 8}
+	lib, err := d.RunCUBLASDGEMM(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	energyOpt, err := d.RunMatMul(w, MatMulConfig{BS: 24, G: 1, R: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if energyOpt.DynEnergyJ >= lib.DynEnergyJ {
+		t.Errorf("tunable energy optimum %.1fJ should beat the library's %.1fJ",
+			energyOpt.DynEnergyJ, lib.DynEnergyJ)
+	}
+	if lib.Seconds >= energyOpt.Seconds {
+		t.Error("the library must win on time")
+	}
+}

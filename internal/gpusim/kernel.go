@@ -1,0 +1,200 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+)
+
+// KernelProfile is the machine model's full account of one matrix-product
+// kernel: geometry, occupancy, roofline terms, achieved throughput, and
+// per-product traffic. It is the input the CUPTI-like event model in
+// internal/counters derives its counts from.
+type KernelProfile struct {
+	// N is the matrix dimension, BS the per-block shared-memory dimension,
+	// G the group size.
+	N, BS, G int
+	// GridDim is the number of thread blocks per grid dimension
+	// (ceil(N/BS); partial boundary tiles are padded).
+	GridDim int
+	// Blocks is GridDim².
+	Blocks int
+	// ThreadsPerBlock is BS².
+	ThreadsPerBlock int
+	// WarpsPerBlock is ceil(BS²/32).
+	WarpsPerBlock int
+	// BlocksPerSM is the resident block count per SM under the thread,
+	// shared-memory, and hardware block limits.
+	BlocksPerSM int
+	// SharedMemPerBlockBytes is G·2·BS²·8.
+	SharedMemPerBlockBytes int
+	// Occupancy is resident warps over the SM's warp capacity.
+	Occupancy float64
+	// WarpEfficiency is the fraction of lanes doing useful work:
+	// BS²/(32·WarpsPerBlock).
+	WarpEfficiency float64
+	// BoundaryEfficiency accounts for padded partial tiles when BS does
+	// not divide N: (N/(BS·GridDim))².
+	BoundaryEfficiency float64
+	// LatencyEfficiency is the occupancy-driven latency-hiding factor.
+	LatencyEfficiency float64
+	// WaveTailEfficiency accounts for the final partially filled wave of
+	// blocks.
+	WaveTailEfficiency float64
+	// ComputeBoundGFLOPs and MemoryBoundGFLOPs are the two roofline arms.
+	ComputeBoundGFLOPs, MemoryBoundGFLOPs float64
+	// AchievedGFLOPs is the realized throughput (min of the arms, after
+	// the device's per-BS performance modifier and icache factor).
+	AchievedGFLOPs float64
+	// MemoryBound reports which arm binds.
+	MemoryBound bool
+	// FlopsPerProduct is 2·N³.
+	FlopsPerProduct float64
+	// GlobalBytesPerProduct is DRAM traffic per product after L2 reuse.
+	GlobalBytesPerProduct float64
+	// SharedBytesPerProduct is shared-memory read traffic per product
+	// (two 8-byte operands per FMA).
+	SharedBytesPerProduct float64
+	// SecondsPerProduct is the modeled time of one product.
+	SecondsPerProduct float64
+}
+
+// profileMatMul evaluates the kernel model for one (N, BS, G). The caller
+// has already validated the configuration.
+func (d *Device) profileMatMul(n, bs, g int) KernelProfile {
+	spec, cal := d.Spec, &d.cal
+	p := KernelProfile{N: n, BS: bs, G: g}
+
+	p.GridDim = (n + bs - 1) / bs
+	p.Blocks = p.GridDim * p.GridDim
+	p.ThreadsPerBlock = bs * bs
+	p.WarpsPerBlock = (p.ThreadsPerBlock + warpSize - 1) / warpSize
+	p.SharedMemPerBlockBytes = g * 2 * bs * bs * 8
+
+	// Resident blocks per SM: thread limit, shared-memory limit, hardware
+	// limit. Every term is at least 1 for a valid configuration.
+	byThreads := spec.MaxThreadsPerSM / p.ThreadsPerBlock
+	bySmem := cal.smemPerSMBytes / p.SharedMemPerBlockBytes
+	p.BlocksPerSM = minInt(cal.maxBlocksPerSM, minInt(byThreads, bySmem))
+	if p.BlocksPerSM < 1 {
+		p.BlocksPerSM = 1
+	}
+
+	maxWarpsPerSM := spec.MaxThreadsPerSM / warpSize
+	residentWarps := p.BlocksPerSM * p.WarpsPerBlock
+	if residentWarps > maxWarpsPerSM {
+		residentWarps = maxWarpsPerSM
+	}
+	p.Occupancy = float64(residentWarps) / float64(maxWarpsPerSM)
+	p.WarpEfficiency = float64(p.ThreadsPerBlock) / float64(warpSize*p.WarpsPerBlock)
+	p.LatencyEfficiency = p.Occupancy / (p.Occupancy + cal.latencyHalfOcc)
+
+	// Boundary padding: threads outside the matrix are masked but still
+	// scheduled.
+	covered := float64(n) / float64(bs*p.GridDim)
+	p.BoundaryEfficiency = covered * covered
+
+	// Wave quantization: the last wave of blocks may underfill the device.
+	slots := spec.SMs * p.BlocksPerSM
+	waves := (p.Blocks + slots - 1) / slots
+	p.WaveTailEfficiency = float64(p.Blocks) / float64(waves*slots)
+
+	// Roofline. Compute arm: FP64 peak times the kernel's instruction-mix
+	// ceiling and every scheduling efficiency. Memory arm: DRAM bandwidth
+	// times arithmetic intensity (BS/8 flops per byte for the blocked
+	// kernel: 2·N³ flops over 2·8·N³/BS bytes) times the small-BS L2 reuse
+	// bonus.
+	p.ComputeBoundGFLOPs = spec.PeakGFLOPsFP64 * cal.kernelEff *
+		p.WarpEfficiency * p.LatencyEfficiency * p.WaveTailEfficiency * p.BoundaryEfficiency
+	ai := float64(bs) / 8
+	l2Reuse := 1 + cal.l2ReuseAmp*math.Exp(-float64(bs)/cal.l2ReuseDecay)
+	p.MemoryBoundGFLOPs = spec.MemBandwidthGBs * ai * l2Reuse * p.BoundaryEfficiency
+
+	perf := p.ComputeBoundGFLOPs
+	p.MemoryBound = false
+	if p.MemoryBoundGFLOPs < perf {
+		perf = p.MemoryBoundGFLOPs
+		p.MemoryBound = true
+	}
+	perf *= cal.perfMod[bs]
+	perf /= 1 + cal.icachePerGroup*float64(g-1)
+	p.AchievedGFLOPs = perf
+
+	fn := float64(n)
+	p.FlopsPerProduct = 2 * fn * fn * fn
+	p.GlobalBytesPerProduct = 2 * 8 * fn * fn * fn / (float64(bs) * l2Reuse)
+	p.SharedBytesPerProduct = 8 * p.FlopsPerProduct // 2 reads × 8 B per 2 flops
+	p.SecondsPerProduct = p.FlopsPerProduct / (perf * 1e9)
+	return p
+}
+
+// PowerBreakdown itemizes the dynamic power during a kernel.
+type PowerBreakdown struct {
+	// BaseW is the kernel-active baseline (clock tree, schedulers).
+	BaseW float64
+	// ComputeW is the FP64 pipes including the boost-clock term and the
+	// device's per-BS core-power modifier.
+	ComputeW float64
+	// MemoryW is the DRAM subsystem.
+	MemoryW float64
+	// SharedMemW is the shared-memory banks.
+	SharedMemW float64
+	// FetchW is the time-averaged fetch-engine component (Fig 6's 58 W
+	// while active).
+	FetchW float64
+}
+
+// TotalW sums the components.
+func (b PowerBreakdown) TotalW() float64 {
+	return b.BaseW + b.ComputeW + b.MemoryW + b.SharedMemW + b.FetchW
+}
+
+// powerFor evaluates the component power model for a profile, excluding
+// the fetch engine (which depends on G and N and is handled by the run
+// layer).
+func (d *Device) powerFor(p KernelProfile) PowerBreakdown {
+	spec, cal := d.Spec, &d.cal
+	attainable := spec.PeakGFLOPsFP64 * cal.kernelEff
+	uPipes := p.AchievedGFLOPs / spec.PeakGFLOPsFP64
+	uSmem := math.Min(1, p.AchievedGFLOPs/attainable)
+	uMem := 0.0
+	if p.MemoryBoundGFLOPs > 0 {
+		uMem = math.Min(1, p.AchievedGFLOPs/p.MemoryBoundGFLOPs)
+	}
+	boost := 1 + cal.boostK*math.Pow(p.AchievedGFLOPs/attainable, cal.boostExp)
+	// Textual group repetition inflates core power (register pressure and
+	// fetch replays) on top of the per-BS modifier.
+	mod := cal.powerMod[p.BS] * (1 + cal.groupPowerPerExtra*float64(p.G-1))
+	return PowerBreakdown{
+		BaseW:      spec.BasePowerW,
+		ComputeW:   spec.ComputePowerW * uPipes * boost * mod,
+		MemoryW:    spec.MemPowerW * uMem,
+		SharedMemW: spec.SMemPowerW * uSmem * mod,
+	}
+}
+
+// fetchEngineDuty returns the fraction of kernel time the fetch-engine
+// component is active: only compound kernels (G ≥ 2, textual repetition
+// inflating the instruction footprint) on workloads below the device's
+// threshold trigger it, with the duty shrinking quadratically as N
+// approaches the threshold — the calibrated mechanism behind Fig 6's
+// vanishing non-additivity (see DESIGN.md).
+func (d *Device) fetchEngineDuty(n, g int) float64 {
+	if d.fetchDisabled || g < 2 || n >= d.Spec.FetchEngineMaxN {
+		return 0
+	}
+	f := float64(n) / float64(d.Spec.FetchEngineMaxN)
+	return 1 - f*f
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// String summarizes a profile for debugging output.
+func (p KernelProfile) String() string {
+	return fmt.Sprintf("N=%d BS=%d G=%d occ=%.2f warpEff=%.2f perf=%.0fGF memBound=%v t/prod=%.3fs",
+		p.N, p.BS, p.G, p.Occupancy, p.WarpEfficiency, p.AchievedGFLOPs, p.MemoryBound, p.SecondsPerProduct)
+}

@@ -1,0 +1,412 @@
+package gpusim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"energyprop/internal/hw"
+	"energyprop/internal/meter"
+	"energyprop/internal/pareto"
+)
+
+func TestNewDeviceValidation(t *testing.T) {
+	if _, err := NewDevice(nil); err == nil {
+		t.Error("nil spec: want error")
+	}
+	bad := hw.P100()
+	bad.SMs = 0
+	if _, err := NewDevice(bad); err == nil {
+		t.Error("zero SMs: want error")
+	}
+	generic := hw.P100()
+	generic.Name = "test GPU"
+	d, err := NewDevice(generic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.cal.perfMod[16] != 1 {
+		t.Error("generic calibration should have neutral tables")
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	if err := (MatMulWorkload{N: 0, Products: 1}).Validate(); err == nil {
+		t.Error("N=0: want error")
+	}
+	if err := (MatMulWorkload{N: 64, Products: 0}).Validate(); err == nil {
+		t.Error("Products=0: want error")
+	}
+	if err := (MatMulWorkload{N: 64, Products: 8}).Validate(); err != nil {
+		t.Errorf("valid workload rejected: %v", err)
+	}
+}
+
+func TestValidateConfigRules(t *testing.T) {
+	d := NewP100()
+	w := MatMulWorkload{N: 1024, Products: 8}
+	cases := []struct {
+		c      MatMulConfig
+		wantOK bool
+	}{
+		{MatMulConfig{BS: 16, G: 1, R: 8}, true},
+		{MatMulConfig{BS: 16, G: 2, R: 4}, true},
+		{MatMulConfig{BS: 0, G: 1, R: 8}, false},  // BS too small
+		{MatMulConfig{BS: 33, G: 1, R: 8}, false}, // BS too large
+		{MatMulConfig{BS: 16, G: 9, R: 1}, false}, // G too large
+		{MatMulConfig{BS: 16, G: 0, R: 8}, false}, // G too small
+		{MatMulConfig{BS: 16, G: 1, R: 0}, false}, // R too small
+		{MatMulConfig{BS: 16, G: 3, R: 3}, false}, // G·R != Products
+		// BS=32 needs 16 KB shared per product: G=4 needs 64 KB > 48 KB.
+		{MatMulConfig{BS: 32, G: 4, R: 2}, false},
+		// BS=32, G=2 needs 32 KB: permissible.
+		{MatMulConfig{BS: 32, G: 2, R: 4}, true},
+	}
+	for _, tc := range cases {
+		err := d.ValidateConfig(w, tc.c)
+		if (err == nil) != tc.wantOK {
+			t.Errorf("ValidateConfig(%v): err=%v, wantOK=%v", tc.c, err, tc.wantOK)
+		}
+	}
+}
+
+func TestValidateConfigBSExceedsN(t *testing.T) {
+	d := NewP100()
+	w := MatMulWorkload{N: 16, Products: 1}
+	if err := d.ValidateConfig(w, MatMulConfig{BS: 32, G: 1, R: 1}); err == nil {
+		t.Error("BS > N: want error")
+	}
+}
+
+func TestEnumerateConfigsSharedMemoryConstraint(t *testing.T) {
+	d := NewK40c()
+	w := MatMulWorkload{N: 10240, Products: 8}
+	configs, err := d.EnumerateConfigs(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(configs) == 0 {
+		t.Fatal("no configs enumerated")
+	}
+	maxGAt32 := 0
+	for _, c := range configs {
+		if err := d.ValidateConfig(w, c); err != nil {
+			t.Fatalf("enumerated config %v invalid: %v", c, err)
+		}
+		if c.BS == 32 && c.G > maxGAt32 {
+			maxGAt32 = c.G
+		}
+	}
+	// 48 KB / (2·32²·8 B) = 3, and G must divide 8, so G ∈ {1, 2}.
+	if maxGAt32 != 2 {
+		t.Errorf("max G at BS=32 = %d, want 2 (shared-memory constraint)", maxGAt32)
+	}
+	// Every G·R must equal Products.
+	for _, c := range configs {
+		if c.G*c.R != w.Products {
+			t.Errorf("config %v: G·R = %d, want %d", c, c.G*c.R, w.Products)
+		}
+	}
+}
+
+func TestRunMatMulRejectsInvalidConfig(t *testing.T) {
+	d := NewP100()
+	w := MatMulWorkload{N: 1024, Products: 8}
+	if _, err := d.RunMatMul(w, MatMulConfig{BS: 32, G: 8, R: 1}); err == nil {
+		t.Error("invalid config: want error")
+	}
+}
+
+func TestRunMatMulDeterministic(t *testing.T) {
+	d1, d2 := NewP100(), NewP100()
+	w := MatMulWorkload{N: 4096, Products: 4}
+	c := MatMulConfig{BS: 24, G: 2, R: 2}
+	r1, err := d1.RunMatMul(w, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := d2.RunMatMul(w, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Seconds != r2.Seconds || r1.DynEnergyJ != r2.DynEnergyJ {
+		t.Error("model must be deterministic")
+	}
+}
+
+func TestRunMatMulBasicSanity(t *testing.T) {
+	for _, d := range []*Device{NewK40c(), NewP100()} {
+		w := MatMulWorkload{N: 8192, Products: 8}
+		results, err := d.Sweep(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Seconds <= 0 || r.DynPowerW <= 0 || r.DynEnergyJ <= 0 {
+				t.Fatalf("%s %v: non-positive outputs %+v", d.Spec.Name, r.Config, r)
+			}
+			if r.DynPowerW > d.Spec.TDPWatts {
+				t.Errorf("%s %v: dynamic power %v exceeds TDP %v", d.Spec.Name, r.Config, r.DynPowerW, d.Spec.TDPWatts)
+			}
+			if got := r.Power.TotalW(); math.Abs(got-r.DynPowerW) > 1e-9 {
+				t.Errorf("power breakdown sums to %v, reported %v", got, r.DynPowerW)
+			}
+			if math.Abs(r.DynEnergyJ-r.DynPowerW*r.Seconds) > 1e-6*r.DynEnergyJ {
+				t.Errorf("E != P·t for %v", r.Config)
+			}
+		}
+	}
+}
+
+// sweepPoints converts a sweep into pareto points, optionally filtered by a
+// BS range.
+func sweepPoints(t *testing.T, d *Device, w MatMulWorkload, bsLo, bsHi int) []pareto.Point {
+	t.Helper()
+	results, err := d.Sweep(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts []pareto.Point
+	for _, r := range results {
+		if r.Config.BS < bsLo || r.Config.BS > bsHi {
+			continue
+		}
+		pts = append(pts, pareto.Point{Label: r.Config.String(), Time: r.Seconds, Energy: r.DynEnergyJ})
+	}
+	return pts
+}
+
+func TestK40cGlobalFrontIsSinglePoint(t *testing.T) {
+	// Paper Section V.C: "For the Nvidia K40c GPU, the global Pareto front
+	// contains only one point ... The value of BS for this configuration
+	// is 32."
+	d := NewK40c()
+	for _, n := range []int{8704, 10240, 14336} {
+		pts := sweepPoints(t, d, MatMulWorkload{N: n, Products: 8}, 1, 32)
+		front := pareto.Front(pts)
+		if len(front) != 1 {
+			t.Errorf("N=%d: global front has %d points, want 1: %v", n, len(front), front)
+			continue
+		}
+		if got := front[0].Label; got != "(BS=32, G=1, R=8)" {
+			t.Errorf("N=%d: front point %s, want BS=32 G=1", n, got)
+		}
+	}
+}
+
+func TestK40cLocalFrontShape(t *testing.T) {
+	// Paper: local fronts (the BS 21..31 nonproportionality region) have
+	// 4-5 points with up to ~18% energy saving at ~7% degradation.
+	d := NewK40c()
+	for _, n := range []int{8704, 10240} {
+		pts := sweepPoints(t, d, MatMulWorkload{N: n, Products: 8}, 21, 31)
+		front := pareto.Front(pts)
+		if len(front) < 4 || len(front) > 5 {
+			t.Errorf("N=%d: local front has %d points, want 4-5", n, len(front))
+		}
+		best, err := pareto.BestTradeOff(front)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.EnergySavingPct < 14 || best.EnergySavingPct > 22 {
+			t.Errorf("N=%d: max local saving %.1f%%, want ~18%%", n, best.EnergySavingPct)
+		}
+		if best.PerfDegradationPct < 4 || best.PerfDegradationPct > 10 {
+			t.Errorf("N=%d: degradation at max saving %.1f%%, want ~7%%", n, best.PerfDegradationPct)
+		}
+	}
+}
+
+func TestP100GlobalFrontShape(t *testing.T) {
+	// Paper: P100 global fronts have 2-3 points; max ~50% saving at ~11%
+	// degradation (N=10240 reported explicitly with 3 points).
+	d := NewP100()
+	for _, n := range []int{8704, 10240, 14336, 18432} {
+		pts := sweepPoints(t, d, MatMulWorkload{N: n, Products: 8}, 1, 32)
+		front := pareto.Front(pts)
+		if len(front) < 2 || len(front) > 3 {
+			t.Errorf("N=%d: global front has %d points, want 2-3", n, len(front))
+		}
+		best, err := pareto.BestTradeOff(front)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.EnergySavingPct < 40 || best.EnergySavingPct > 55 {
+			t.Errorf("N=%d: max saving %.1f%%, want ~50%%", n, best.EnergySavingPct)
+		}
+		if best.PerfDegradationPct < 8 || best.PerfDegradationPct > 13 {
+			t.Errorf("N=%d: degradation %.1f%%, want ~11%%", n, best.PerfDegradationPct)
+		}
+	}
+}
+
+func TestProportionalRegionMonotone(t *testing.T) {
+	// Paper Fig 2 (top right): for BS in 1..20, dynamic energy increases
+	// monotonically with execution time — optimizing for performance
+	// optimizes for dynamic energy.
+	for _, d := range []*Device{NewK40c(), NewP100()} {
+		var pts []pareto.Point
+		w := MatMulWorkload{N: 10240, Products: 8}
+		for bs := 1; bs <= 20; bs++ {
+			r, err := d.RunMatMul(w, MatMulConfig{BS: bs, G: 1, R: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pts = append(pts, pareto.Point{Time: r.Seconds, Energy: r.DynEnergyJ})
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Time < pts[j].Time })
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Energy < pts[i-1].Energy {
+				t.Errorf("%s: energy not monotone in time at t=%.2f (E %.1f -> %.1f)",
+					d.Spec.Name, pts[i].Time, pts[i-1].Energy, pts[i].Energy)
+			}
+		}
+	}
+}
+
+func TestFetchEngineActivation(t *testing.T) {
+	d := NewP100()
+	// G=1 never activates it.
+	r, err := d.RunMatMul(MatMulWorkload{N: 5120, Products: 4}, MatMulConfig{BS: 16, G: 1, R: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FetchEngineActive {
+		t.Error("G=1 must not activate the fetch engine")
+	}
+	// G>=2 below the threshold activates it.
+	r, err = d.RunMatMul(MatMulWorkload{N: 5120, Products: 4}, MatMulConfig{BS: 16, G: 2, R: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.FetchEngineActive || r.Power.FetchW <= 0 {
+		t.Error("G=2 at N=5120 must activate the fetch engine")
+	}
+	// At or above the threshold it is off.
+	r, err = d.RunMatMul(MatMulWorkload{N: 15360, Products: 4}, MatMulConfig{BS: 16, G: 2, R: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FetchEngineActive {
+		t.Error("fetch engine must be off at the threshold size")
+	}
+}
+
+func TestNonAdditivityShrinksWithN(t *testing.T) {
+	// Paper Fig 6: dynamic energies are highly non-additive at N=5120 and
+	// the non-additivity decreases to zero beyond N=15360 (P100).
+	d := NewP100()
+	excess := func(n int) float64 {
+		e1, err := d.RunMatMul(MatMulWorkload{N: n, Products: 1}, MatMulConfig{BS: 16, G: 1, R: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e4, err := d.RunMatMul(MatMulWorkload{N: n, Products: 4}, MatMulConfig{BS: 16, G: 4, R: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e4.DynEnergyJ/(4*e1.DynEnergyJ) - 1
+	}
+	e5120 := excess(5120)
+	e10240 := excess(10240)
+	e15360 := excess(15360)
+	if e5120 < 0.20 {
+		t.Errorf("relative non-additivity at N=5120 = %.3f, want substantial (> 0.20)", e5120)
+	}
+	if e10240 >= e5120 {
+		t.Errorf("non-additivity should shrink: N=5120 %.3f, N=10240 %.3f", e5120, e10240)
+	}
+	if e15360 > 0.05 {
+		t.Errorf("non-additivity at N=15360 = %.3f, want ~0", e15360)
+	}
+}
+
+func TestExecutionTimesAdditive(t *testing.T) {
+	// Paper Fig 6: "The execution times are observed to be additive."
+	d := NewP100()
+	t1, err := d.RunMatMul(MatMulWorkload{N: 5120, Products: 1}, MatMulConfig{BS: 16, G: 1, R: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := d.RunMatMul(MatMulWorkload{N: 5120, Products: 4}, MatMulConfig{BS: 16, G: 4, R: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := t4.Seconds / (4 * t1.Seconds)
+	if ratio < 0.97 || ratio > 1.03 {
+		t.Errorf("time additivity ratio = %.3f, want ~1", ratio)
+	}
+}
+
+func TestResultMeterAdapter(t *testing.T) {
+	d := NewP100()
+	r, err := d.RunMatMul(MatMulWorkload{N: 8192, Products: 8}, MatMulConfig{BS: 24, G: 1, R: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := meter.NewMeter(d.Spec.IdlePowerW, 1)
+	m.NoiseFrac = 0
+	rep, err := m.MeasureRun(r.Run(d.Spec.IdlePowerW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.DynamicEnergyJ-r.DynEnergyJ) > 1e-6*r.DynEnergyJ {
+		t.Errorf("metered dynamic energy %v != model %v", rep.DynamicEnergyJ, r.DynEnergyJ)
+	}
+}
+
+func TestProfileInvariantsProperty(t *testing.T) {
+	d := NewP100()
+	check := func(bsRaw, gRaw, nRaw uint16) bool {
+		bs := int(bsRaw)%MaxBS + 1
+		g := int(gRaw)%MaxG + 1
+		n := (int(nRaw)%64 + 4) * 256
+		if g*2*bs*bs*8 > d.Spec.SharedMemPerBlockBytes {
+			return true // invalid config, skip
+		}
+		p := d.profileMatMul(n, bs, g)
+		if p.Occupancy <= 0 || p.Occupancy > 1 {
+			return false
+		}
+		if p.WarpEfficiency <= 0 || p.WarpEfficiency > 1 {
+			return false
+		}
+		if p.BoundaryEfficiency <= 0 || p.BoundaryEfficiency > 1 {
+			return false
+		}
+		if p.WaveTailEfficiency <= 0 || p.WaveTailEfficiency > 1 {
+			return false
+		}
+		if p.AchievedGFLOPs <= 0 || p.SecondsPerProduct <= 0 {
+			return false
+		}
+		// Achieved throughput cannot exceed either roofline arm (modifiers
+		// are <= ~1 for calibrated devices but allow 5% headroom).
+		limit := math.Min(p.ComputeBoundGFLOPs, p.MemoryBoundGFLOPs) * 1.05
+		return p.AchievedGFLOPs <= limit
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSweepConfigCountReasonable(t *testing.T) {
+	// The full (BS, G, R) sweep should produce a rich configuration space
+	// (the paper's scatter plots contain on the order of 100 points).
+	d := NewP100()
+	results, err := d.Sweep(MatMulWorkload{N: 18432, Products: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 60 {
+		t.Errorf("sweep produced %d configs, want >= 60", len(results))
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := MatMulConfig{BS: 24, G: 2, R: 4}
+	if got := c.String(); got != "(BS=24, G=2, R=4)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,116 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+
+	"energyprop/internal/hw"
+)
+
+func customSpec() *hw.GPUSpec {
+	s := hw.P100()
+	s.Name = "Custom Board X"
+	s.SMs = 40
+	s.PeakGFLOPsFP64 = 3000
+	s.MemBandwidthGBs = 500
+	return s
+}
+
+func customProfile() MeasuredProfile {
+	perf := map[int]float64{}
+	energy := map[int]float64{}
+	for bs := 21; bs <= 32; bs++ {
+		perf[bs] = 1000 + float64(bs-21)*40
+		energy[bs] = 900 - float64(bs-21)*15
+	}
+	return MeasuredProfile{
+		RefN: 8192, RefProducts: 4,
+		PerfGF: perf, EnergyJ: energy,
+		AnchorBS: 20, AnchorEnergyJ: 950, AnchorExp: 0.9,
+	}
+}
+
+func TestNewDeviceWithProfileReproducesTargets(t *testing.T) {
+	dev, err := NewDeviceWithProfile(customSpec(), customProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := customProfile()
+	for bs := 21; bs <= 32; bs++ {
+		r, err := dev.RunMatMul(
+			MatMulWorkload{N: prof.RefN, Products: prof.RefProducts},
+			MatMulConfig{BS: bs, G: 1, R: prof.RefProducts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := r.Profile.AchievedGFLOPs / prof.PerfGF[bs]; rel < 0.99 || rel > 1.01 {
+			t.Errorf("BS=%d: achieved %.0f GF, target %.0f", bs, r.Profile.AchievedGFLOPs, prof.PerfGF[bs])
+		}
+		if rel := r.DynEnergyJ / prof.EnergyJ[bs]; rel < 0.98 || rel > 1.02 {
+			t.Errorf("BS=%d: energy %.1f J, target %.1f", bs, r.DynEnergyJ, prof.EnergyJ[bs])
+		}
+	}
+	// The anchor region: energy monotone in time below the anchor.
+	prev := math.Inf(1)
+	for bs := 20; bs >= 4; bs -= 4 {
+		r, err := dev.RunMatMul(
+			MatMulWorkload{N: prof.RefN, Products: prof.RefProducts},
+			MatMulConfig{BS: bs, G: 1, R: prof.RefProducts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Lower BS is slower, so energy should be rising as bs decreases
+		// (we iterate downward: each energy must exceed... the previous
+		// bs's energy was for a *faster* config, so E grows).
+		if bs < 20 && r.DynEnergyJ < prev {
+			t.Errorf("BS=%d: anchor region energy %.1f not monotone", bs, r.DynEnergyJ)
+		}
+		prev = r.DynEnergyJ
+	}
+}
+
+func TestNewDeviceWithProfileValidation(t *testing.T) {
+	good := customProfile()
+	if _, err := NewDeviceWithProfile(nil, good); err == nil {
+		t.Error("nil spec: want error")
+	}
+	bad := customProfile()
+	bad.RefN = 0
+	if _, err := NewDeviceWithProfile(customSpec(), bad); err == nil {
+		t.Error("bad reference workload: want error")
+	}
+	bad = customProfile()
+	bad.EnergyJ = nil
+	if _, err := NewDeviceWithProfile(customSpec(), bad); err == nil {
+		t.Error("no energy targets: want error")
+	}
+	bad = customProfile()
+	bad.EnergyJ[40] = 100
+	if _, err := NewDeviceWithProfile(customSpec(), bad); err == nil {
+		t.Error("BS out of range: want error")
+	}
+	bad = customProfile()
+	bad.AnchorBS = -2
+	if _, err := NewDeviceWithProfile(customSpec(), bad); err == nil {
+		t.Error("bad anchor: want error")
+	}
+	spec := customSpec()
+	spec.SMs = 0
+	if _, err := NewDeviceWithProfile(spec, good); err == nil {
+		t.Error("bad spec: want error")
+	}
+}
+
+func TestNewDeviceWithProfileNoAnchor(t *testing.T) {
+	prof := customProfile()
+	prof.AnchorBS = 0
+	dev, err := NewDeviceWithProfile(customSpec(), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Low block sizes still run (mechanism defaults, no target inversion).
+	if _, err := dev.RunMatMul(MatMulWorkload{N: 4096, Products: 1},
+		MatMulConfig{BS: 8, G: 1, R: 1}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+
+	"energyprop/internal/meter"
+)
+
+func TestTracedMatchesAnalyticTotals(t *testing.T) {
+	d := NewP100()
+	w := MatMulWorkload{N: 8192, Products: 8}
+	for _, c := range []MatMulConfig{
+		{BS: 32, G: 1, R: 8}, {BS: 16, G: 2, R: 4}, {BS: 4, G: 1, R: 8},
+	} {
+		tr, err := d.RunMatMulTraced(w, c)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		// Makespan within a few percent of the analytic kernel time.
+		rel := tr.TraceSeconds / tr.Seconds
+		if rel < 0.9 || rel > 1.1 {
+			t.Errorf("%v: makespan %.4fs vs analytic %.4fs", c, tr.TraceSeconds, tr.Seconds)
+		}
+		// Trace energy within a few percent of the analytic energy (the
+		// ramp and tail shave a little off the constant-power product).
+		relE := tr.TraceEnergyJ / tr.DynEnergyJ
+		if relE < 0.85 || relE > 1.05 {
+			t.Errorf("%v: trace energy %.1fJ vs analytic %.1fJ", c, tr.TraceEnergyJ, tr.DynEnergyJ)
+		}
+	}
+}
+
+func TestTracedStructure(t *testing.T) {
+	d := NewK40c()
+	tr, err := d.RunMatMulTraced(MatMulWorkload{N: 8192, Products: 4}, MatMulConfig{BS: 32, G: 1, R: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Trace) < 3 {
+		t.Fatalf("trace has %d steps, want ramp/steady/tail structure", len(tr.Trace))
+	}
+	if len(tr.Trace) > 2048 {
+		t.Errorf("trace has %d steps, want compaction to <= ~1024", len(tr.Trace))
+	}
+	// Monotone time.
+	maxOcc, peakPower := 0, 0.0
+	for i, tp := range tr.Trace {
+		if i > 0 && tp.Seconds < tr.Trace[i-1].Seconds {
+			t.Fatal("trace times must be non-decreasing")
+		}
+		if tp.ActiveSlots < 0 {
+			t.Fatal("negative occupancy")
+		}
+		if tp.ActiveSlots > maxOcc {
+			maxOcc = tp.ActiveSlots
+		}
+		if tp.PowerW > peakPower {
+			peakPower = tp.PowerW
+		}
+	}
+	slots := d.Spec.SMs * tr.Profile.BlocksPerSM
+	if maxOcc != slots {
+		t.Errorf("peak occupancy %d, want full %d slots", maxOcc, slots)
+	}
+	// The tail must decay: final step strictly below peak power.
+	last := tr.Trace[len(tr.Trace)-1]
+	if last.PowerW >= peakPower {
+		t.Error("trace should end in a drained (low-power) tail")
+	}
+	if math.Abs(peakPower-tr.DynPowerW) > 0.02*tr.DynPowerW {
+		t.Errorf("steady-state trace power %.1f vs analytic %.1f", peakPower, tr.DynPowerW)
+	}
+}
+
+func TestTracedTinyGrid(t *testing.T) {
+	// Fewer blocks than slots: occupancy never reaches the slot count and
+	// the kernel is one partial wave.
+	d := NewP100()
+	tr, err := d.RunMatMulTraced(MatMulWorkload{N: 64, Products: 1}, MatMulConfig{BS: 32, G: 1, R: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := d.Spec.SMs * tr.Profile.BlocksPerSM
+	for _, tp := range tr.Trace {
+		if tp.ActiveSlots > slots {
+			t.Fatal("occupancy exceeds slots")
+		}
+	}
+	if tr.Trace[0].ActiveSlots <= 0 {
+		t.Error("first step should have active blocks")
+	}
+}
+
+func TestTracedMeterPipeline(t *testing.T) {
+	// End to end: metering the traced run reproduces the trace energy.
+	d := NewP100()
+	tr, err := d.RunMatMulTraced(MatMulWorkload{N: 8192, Products: 8}, MatMulConfig{BS: 24, G: 1, R: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := meter.NewMeter(d.Spec.IdlePowerW, 1)
+	m.NoiseFrac = 0
+	m.SampleInterval = tr.TraceSeconds / 2000
+	rep, err := m.MeasureRun(tr.Run(d.Spec.IdlePowerW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := rep.DynamicEnergyJ / tr.TraceEnergyJ
+	if rel < 0.98 || rel > 1.02 {
+		t.Errorf("metered %.1fJ vs trace %.1fJ", rep.DynamicEnergyJ, tr.TraceEnergyJ)
+	}
+}
+
+func TestTracedDeterministic(t *testing.T) {
+	d := NewP100()
+	w := MatMulWorkload{N: 4096, Products: 4}
+	c := MatMulConfig{BS: 16, G: 1, R: 4}
+	a, err := d.RunMatMulTraced(w, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.RunMatMulTraced(w, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TraceEnergyJ != b.TraceEnergyJ || len(a.Trace) != len(b.Trace) {
+		t.Error("scheduler must be deterministic")
+	}
+}

@@ -1,0 +1,276 @@
+// Package hw is the device catalog: the Table I platform specifications of
+// the paper (Intel Haswell E5-2670v3 dual-socket CPU, Nvidia K40c, Nvidia
+// P100 PCIe) expressed as typed data, together with the calibration
+// constants the simulators in internal/cpusim and internal/gpusim are tuned
+// with. Keeping every number here, in one reviewable place, is what makes
+// the substitution story auditable: the simulators contain mechanisms, this
+// package contains magnitudes.
+package hw
+
+import "fmt"
+
+// DeviceKind discriminates CPU and GPU catalog entries.
+type DeviceKind int
+
+const (
+	// KindCPU marks a multicore CPU device.
+	KindCPU DeviceKind = iota
+	// KindGPU marks a CUDA-style GPU device.
+	KindGPU
+)
+
+// String returns "CPU" or "GPU".
+func (k DeviceKind) String() string {
+	switch k {
+	case KindCPU:
+		return "CPU"
+	case KindGPU:
+		return "GPU"
+	default:
+		return fmt.Sprintf("DeviceKind(%d)", int(k))
+	}
+}
+
+// CPUSpec describes a multicore CPU platform (Table I, first block).
+type CPUSpec struct {
+	Name           string
+	CoresPerSocket int
+	Sockets        int
+	Hyperthreading bool
+	BaseClockMHz   float64
+	L1DataKB       int
+	L1InstrKB      int
+	L2KB           int
+	L3KB           int
+	MainMemoryGB   int
+	BLASVersions   string
+	// IdlePowerW is the measured node idle power the dynamic-energy
+	// computation subtracts.
+	IdlePowerW float64
+	// MemBandwidthGBs is the aggregate peak main-memory bandwidth used by
+	// the contention roofline.
+	MemBandwidthGBs float64
+	// PeakGFLOPs is the double-precision peak the performance plateau in
+	// Fig 4 is calibrated to (the paper observes ~700 GFLOPs).
+	PeakGFLOPs float64
+	// CorePowerW is the per-core dynamic power at full utilization (the
+	// constant `a` of the simple EP model P = a·U).
+	CorePowerW float64
+	// UncorePowerW is the per-socket shared-component power once any core
+	// of the socket is active.
+	UncorePowerW float64
+	// DTLBPowerW is the maximum disproportionate dTLB/page-walk component
+	// identified by Khokhriakov et al. as the nonproportionality source.
+	DTLBPowerW float64
+}
+
+// PhysicalCores returns the total number of physical cores.
+func (c *CPUSpec) PhysicalCores() int { return c.CoresPerSocket * c.Sockets }
+
+// LogicalCores returns the number of logical cores (doubled when
+// hyperthreading is enabled).
+func (c *CPUSpec) LogicalCores() int {
+	n := c.PhysicalCores()
+	if c.Hyperthreading {
+		n *= 2
+	}
+	return n
+}
+
+// GPUSpec describes a CUDA-style GPU platform (Table I, second and third
+// blocks) plus the calibration constants of the gpusim machine model.
+type GPUSpec struct {
+	Name         string
+	CUDACores    int
+	BaseClockMHz float64
+	MemoryGB     int
+	MemoryType   string
+	L2KB         int
+	TDPWatts     float64
+	CUDAVersion  string
+	// SMs is the number of streaming multiprocessors.
+	SMs int
+	// MaxThreadsPerSM bounds occupancy.
+	MaxThreadsPerSM int
+	// SharedMemPerBlockBytes is the per-block shared memory limit that
+	// constrains which (BS, G) combinations are permissible.
+	SharedMemPerBlockBytes int
+	// MemBandwidthGBs is the peak global-memory bandwidth.
+	MemBandwidthGBs float64
+	// PeakGFLOPsFP64 is the double-precision peak throughput.
+	PeakGFLOPsFP64 float64
+	// IdlePowerW is the node idle power (subtracted to obtain dynamic
+	// energy).
+	IdlePowerW float64
+	// ComputePowerW is the dynamic power of the FP64 pipes at full
+	// utilization.
+	ComputePowerW float64
+	// MemPowerW is the dynamic power of the DRAM subsystem at full
+	// bandwidth.
+	MemPowerW float64
+	// SMemPowerW is the dynamic power of the shared-memory banks at full
+	// traffic.
+	SMemPowerW float64
+	// BasePowerW is the kernel-active baseline dynamic power (clock
+	// distribution, schedulers) drawn whenever any kernel is resident.
+	BasePowerW float64
+	// FetchEnginePowerW is the constant-power component behind Fig 6's
+	// non-additivity (58 W in the paper).
+	FetchEnginePowerW float64
+	// FetchEngineMaxN is the largest matrix size at which the fetch-engine
+	// component activates for compound kernels (15360 for P100, 10240 for
+	// K40c in the paper).
+	FetchEngineMaxN int
+	// EnergyOptimalBS is the block size at which the device's dynamic
+	// energy is lowest for large workloads. For the K40c the paper finds
+	// this coincides with the performance-optimal BS = 32 (single-point
+	// global Pareto front); for the P100 it does not, producing genuine
+	// trade-offs.
+	EnergyOptimalBS int
+}
+
+// Haswell returns the paper's Intel Haswell E5-2670 v3 dual-socket platform
+// (Table I) with simulator calibration.
+func Haswell() *CPUSpec {
+	return &CPUSpec{
+		Name:            "Intel Haswell E5-2670V3",
+		CoresPerSocket:  12,
+		Sockets:         2,
+		Hyperthreading:  true,
+		BaseClockMHz:    1200.402,
+		L1DataKB:        32,
+		L1InstrKB:       32,
+		L2KB:            256,
+		L3KB:            30720,
+		MainMemoryGB:    64,
+		BLASVersions:    "(Intel MKL, OpenBLAS) = (2020.0.4, 0.2.19)",
+		IdlePowerW:      60,
+		MemBandwidthGBs: 68, // dual-socket DDR4-2133, 4 channels per socket
+		PeakGFLOPs:      700,
+		CorePowerW:      4.5,
+		UncorePowerW:    12,
+		DTLBPowerW:      18,
+	}
+}
+
+// LegacyXeon returns a single-socket 8-core Xeon of the kind the prior EP
+// literature studied (Rivoire et al.'s 8-core machine; Fan et al.'s
+// dual-core observations): no second socket, no hyperthreading, a small
+// shared uncore, and a dTLB too small-workload-bound to matter. On this
+// shape the simple EP model P = a·U is nearly exact — the historical
+// baseline the paper's Section III contrasts the multicore era against.
+func LegacyXeon() *CPUSpec {
+	return &CPUSpec{
+		Name:            "Legacy Xeon (single socket, 8 cores)",
+		CoresPerSocket:  8,
+		Sockets:         1,
+		Hyperthreading:  false,
+		BaseClockMHz:    2500,
+		L1DataKB:        32,
+		L1InstrKB:       32,
+		L2KB:            12288,
+		L3KB:            0,
+		MainMemoryGB:    16,
+		BLASVersions:    "(reference BLAS)",
+		IdlePowerW:      120,
+		MemBandwidthGBs: 21,
+		PeakGFLOPs:      80,
+		CorePowerW:      11,
+		UncorePowerW:    4,
+		DTLBPowerW:      2,
+	}
+}
+
+// K40c returns the paper's Nvidia K40c platform (Table I) with simulator
+// calibration.
+func K40c() *GPUSpec {
+	return &GPUSpec{
+		Name:                   "NVIDIA K40c",
+		CUDACores:              2880,
+		BaseClockMHz:           745,
+		MemoryGB:               12,
+		MemoryType:             "GDDR5 SDRAM",
+		L2KB:                   1536,
+		TDPWatts:               235,
+		CUDAVersion:            "(CUDA, nvcc) = (7.5, 7.5.17)",
+		SMs:                    15,
+		MaxThreadsPerSM:        2048,
+		SharedMemPerBlockBytes: 48 * 1024,
+		MemBandwidthGBs:        288,
+		PeakGFLOPsFP64:         1430,
+		IdlePowerW:             66,
+		ComputePowerW:          105,
+		MemPowerW:              30,
+		SMemPowerW:             20,
+		BasePowerW:             12,
+		FetchEnginePowerW:      58,
+		FetchEngineMaxN:        10240,
+		// The K40c's energy optimum coincides with its performance optimum
+		// (global Pareto front is a single point at BS = 32).
+		EnergyOptimalBS: 32,
+	}
+}
+
+// P100 returns the paper's Nvidia P100 PCIe platform (Table I) with
+// simulator calibration.
+func P100() *GPUSpec {
+	return &GPUSpec{
+		Name:                   "NVIDIA P100 PCIe",
+		CUDACores:              3584,
+		BaseClockMHz:           1328,
+		MemoryGB:               12,
+		MemoryType:             "CoWoS HBM2",
+		L2KB:                   4096,
+		TDPWatts:               250,
+		CUDAVersion:            "(CUDA, nvcc) = (10.1, 10.1.243)",
+		SMs:                    56,
+		MaxThreadsPerSM:        2048,
+		SharedMemPerBlockBytes: 48 * 1024,
+		MemBandwidthGBs:        732,
+		PeakGFLOPsFP64:         4700,
+		IdlePowerW:             72,
+		ComputePowerW:          120,
+		MemPowerW:              25,
+		SMemPowerW:             40,
+		BasePowerW:             10,
+		FetchEnginePowerW:      58,
+		FetchEngineMaxN:        15360,
+		// On the P100 the lowest-energy block size is below the fastest
+		// (BS = 32), which is what opens the bi-objective trade-off region
+		// of Figs 2 and 8.
+		EnergyOptimalBS: 24,
+	}
+}
+
+// TableRow is one row of the rendered Table I.
+type TableRow struct {
+	Field, Value string
+}
+
+// TableI renders the specification table of the paper for all three
+// catalog devices.
+func TableI() []TableRow {
+	h, k, p := Haswell(), K40c(), P100()
+	return []TableRow{
+		{h.Name, ""},
+		{"No. of cores per socket", fmt.Sprintf("%d", h.CoresPerSocket)},
+		{"Socket(s)", fmt.Sprintf("%d", h.Sockets)},
+		{"CPU MHz", fmt.Sprintf("%.3f", h.BaseClockMHz)},
+		{"L1d cache, L1i cache", fmt.Sprintf("%d KB, %d KB", h.L1DataKB, h.L1InstrKB)},
+		{"L2 cache, L3 cache", fmt.Sprintf("%d KB, %d KB", h.L2KB, h.L3KB)},
+		{"Total main memory", fmt.Sprintf("%d GB DDR4", h.MainMemoryGB)},
+		{"BLAS versions", h.BLASVersions},
+		{k.Name, ""},
+		{"No. of CUDA cores (Base clock)", fmt.Sprintf("%d (%.0f MHz)", k.CUDACores, k.BaseClockMHz)},
+		{"Total board memory", fmt.Sprintf("%d GB %s", k.MemoryGB, k.MemoryType)},
+		{"L2 cache size", fmt.Sprintf("%d KB", k.L2KB)},
+		{"Thermal design power (TDP)", fmt.Sprintf("%.0f W", k.TDPWatts)},
+		{"CUDA versions", k.CUDAVersion},
+		{p.Name, ""},
+		{"No. of CUDA cores (Base clock)", fmt.Sprintf("%d (%.0f MHz)", p.CUDACores, p.BaseClockMHz)},
+		{"Total board memory", fmt.Sprintf("%d GB %s", p.MemoryGB, p.MemoryType)},
+		{"L2 cache size", fmt.Sprintf("%d KB", p.L2KB)},
+		{"Thermal design power (TDP)", fmt.Sprintf("%.0f W", p.TDPWatts)},
+		{"CUDA versions", p.CUDAVersion},
+	}
+}

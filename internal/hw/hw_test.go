@@ -1,0 +1,140 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHaswellMatchesTableI(t *testing.T) {
+	h := Haswell()
+	if h.CoresPerSocket != 12 || h.Sockets != 2 {
+		t.Errorf("core counts: got %d×%d, want 12×2", h.Sockets, h.CoresPerSocket)
+	}
+	if h.PhysicalCores() != 24 {
+		t.Errorf("PhysicalCores = %d, want 24", h.PhysicalCores())
+	}
+	if h.LogicalCores() != 48 {
+		t.Errorf("LogicalCores = %d, want 48 (paper's 48 logical cores)", h.LogicalCores())
+	}
+	if h.L3KB != 30720 {
+		t.Errorf("L3 = %d, want 30720 KB", h.L3KB)
+	}
+	if h.MainMemoryGB != 64 {
+		t.Errorf("memory = %d, want 64 GB", h.MainMemoryGB)
+	}
+	if h.PeakGFLOPs != 700 {
+		t.Errorf("PeakGFLOPs = %v, want 700 (Fig 4 plateau)", h.PeakGFLOPs)
+	}
+}
+
+func TestLogicalCoresWithoutHyperthreading(t *testing.T) {
+	h := Haswell()
+	h.Hyperthreading = false
+	if h.LogicalCores() != 24 {
+		t.Errorf("LogicalCores = %d, want 24", h.LogicalCores())
+	}
+}
+
+func TestK40cMatchesTableI(t *testing.T) {
+	k := K40c()
+	if k.CUDACores != 2880 {
+		t.Errorf("CUDACores = %d, want 2880", k.CUDACores)
+	}
+	if k.BaseClockMHz != 745 {
+		t.Errorf("BaseClock = %v, want 745", k.BaseClockMHz)
+	}
+	if k.L2KB != 1536 {
+		t.Errorf("L2 = %d, want 1536", k.L2KB)
+	}
+	if k.TDPWatts != 235 {
+		t.Errorf("TDP = %v, want 235", k.TDPWatts)
+	}
+	if k.FetchEngineMaxN != 10240 {
+		t.Errorf("FetchEngineMaxN = %d, want 10240 (additivity threshold)", k.FetchEngineMaxN)
+	}
+	if k.EnergyOptimalBS != 32 {
+		t.Errorf("EnergyOptimalBS = %d, want 32 (single-point global front)", k.EnergyOptimalBS)
+	}
+}
+
+func TestP100MatchesTableI(t *testing.T) {
+	p := P100()
+	if p.CUDACores != 3584 {
+		t.Errorf("CUDACores = %d, want 3584", p.CUDACores)
+	}
+	if p.BaseClockMHz != 1328 {
+		t.Errorf("BaseClock = %v, want 1328", p.BaseClockMHz)
+	}
+	if p.L2KB != 4096 {
+		t.Errorf("L2 = %d, want 4096", p.L2KB)
+	}
+	if p.TDPWatts != 250 {
+		t.Errorf("TDP = %v, want 250", p.TDPWatts)
+	}
+	if p.FetchEngineMaxN != 15360 {
+		t.Errorf("FetchEngineMaxN = %d, want 15360 (additivity threshold)", p.FetchEngineMaxN)
+	}
+	if p.EnergyOptimalBS >= 32 {
+		t.Errorf("EnergyOptimalBS = %d, want < 32 (trade-off region exists)", p.EnergyOptimalBS)
+	}
+	if p.FetchEnginePowerW != 58 {
+		t.Errorf("FetchEnginePowerW = %v, want 58 (paper's constant component)", p.FetchEnginePowerW)
+	}
+}
+
+func TestGPUPowerBudgetsWithinTDP(t *testing.T) {
+	// The fetch-engine component only activates when the kernel is NOT
+	// DRAM-bound (small working sets), so it never coincides with full
+	// memory power; the steady-state budget excludes it.
+	for _, g := range []*GPUSpec{K40c(), P100()} {
+		sum := g.BasePowerW + g.ComputePowerW + g.MemPowerW + g.SMemPowerW
+		if sum > g.TDPWatts {
+			t.Errorf("%s: component budget %v W exceeds TDP %v W", g.Name, sum, g.TDPWatts)
+		}
+		fetchCase := g.BasePowerW + g.ComputePowerW + g.SMemPowerW + g.FetchEnginePowerW
+		if fetchCase > g.TDPWatts {
+			t.Errorf("%s: fetch-engine budget %v W exceeds TDP %v W", g.Name, fetchCase, g.TDPWatts)
+		}
+	}
+}
+
+func TestTableIRendering(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 20 {
+		t.Fatalf("TableI rows = %d, want 20", len(rows))
+	}
+	joined := ""
+	for _, r := range rows {
+		joined += r.Field + " " + r.Value + "\n"
+	}
+	for _, want := range []string{
+		"Intel Haswell E5-2670V3", "NVIDIA K40c", "NVIDIA P100 PCIe",
+		"2880 (745 MHz)", "3584 (1328 MHz)", "12 GB CoWoS HBM2", "235 W", "250 W",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("TableI missing %q", want)
+		}
+	}
+}
+
+func TestLegacyXeonShape(t *testing.T) {
+	x := LegacyXeon()
+	if x.Sockets != 1 || x.Hyperthreading {
+		t.Error("legacy machine must be single-socket without hyperthreading")
+	}
+	if x.LogicalCores() != 8 {
+		t.Errorf("LogicalCores = %d, want 8 (Rivoire's 8-core machine)", x.LogicalCores())
+	}
+	if x.DTLBPowerW >= Haswell().DTLBPowerW {
+		t.Error("legacy dTLB component must be small relative to the Haswell")
+	}
+}
+
+func TestDeviceKindString(t *testing.T) {
+	if KindCPU.String() != "CPU" || KindGPU.String() != "GPU" {
+		t.Error("DeviceKind.String mismatch")
+	}
+	if DeviceKind(99).String() != "DeviceKind(99)" {
+		t.Error("unknown kind formatting")
+	}
+}

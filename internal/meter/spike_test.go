@@ -1,0 +1,56 @@
+package meter
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpikesInjectedAndCounted(t *testing.T) {
+	m := NewMeter(60, 11)
+	m.NoiseFrac = 0
+	m.SpikeProb = 0.2
+	rep, err := m.MeasureRun(ConstantRun{Seconds: 500, Watts: 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spikes == 0 {
+		t.Fatal("expected injected spikes")
+	}
+	// Spikes bias the energy upward.
+	if rep.TotalEnergyJ <= 500*160 {
+		t.Errorf("spiked energy %v should exceed clean %v", rep.TotalEnergyJ, 500*160.0)
+	}
+	// Roughly 20% of samples spike at 1.3x: expected inflation ~6%.
+	inflation := rep.TotalEnergyJ/(500*160) - 1
+	if inflation < 0.02 || inflation > 0.12 {
+		t.Errorf("inflation %.3f outside the plausible band", inflation)
+	}
+}
+
+func TestSpikeFactorCustom(t *testing.T) {
+	m := NewMeter(0, 3)
+	m.NoiseFrac = 0
+	m.SpikeProb = 1 // every sample spikes
+	m.SpikeFactor = 2
+	rep, err := m.MeasureRun(ConstantRun{Seconds: 10, Watts: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.AvgPowerW-200) > 1e-9 {
+		t.Errorf("avg power %v, want 200 (all samples doubled)", rep.AvgPowerW)
+	}
+	if rep.Spikes != rep.Samples {
+		t.Errorf("spikes %d != samples %d", rep.Spikes, rep.Samples)
+	}
+}
+
+func TestNoSpikesByDefault(t *testing.T) {
+	m := NewMeter(60, 1)
+	rep, err := m.MeasureRun(ConstantRun{Seconds: 100, Watts: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spikes != 0 {
+		t.Error("default meter must not inject spikes")
+	}
+}

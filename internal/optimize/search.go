@@ -1,0 +1,121 @@
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"energyprop/internal/pareto"
+)
+
+// Adaptive front search. The paper (Section V.B) notes that "determining
+// a global Pareto front by exhaustively obtaining the data points for all
+// the application configurations can be expensive and may not be feasible
+// in dynamic environments with time constraints". SearchBSFront
+// approximates the front over the block-size axis with a bounded number
+// of evaluations: it probes coarse anchors, then repeatedly bisects the
+// interval whose endpoints differ the most in energy (where front
+// structure hides), until the budget is exhausted.
+
+// Evaluator measures one block size and returns its objective point.
+type Evaluator func(bs int) (pareto.Point, error)
+
+// SearchResult reports the approximate front and the cost paid.
+type SearchResult struct {
+	// Front is the Pareto front of the evaluated points.
+	Front []pareto.Point
+	// Evaluated is the set of probed block sizes, ascending.
+	Evaluated []int
+	// Evaluations counts measurement calls.
+	Evaluations int
+}
+
+// SearchBSFront approximates the Pareto front over block sizes 1..maxBS
+// using at most budget evaluations (budget >= 2).
+func SearchBSFront(eval Evaluator, maxBS, budget int) (*SearchResult, error) {
+	if eval == nil {
+		return nil, errors.New("optimize: nil evaluator")
+	}
+	if maxBS < 2 {
+		return nil, errors.New("optimize: maxBS must be >= 2")
+	}
+	if budget < 2 {
+		return nil, errors.New("optimize: budget must be >= 2")
+	}
+	points := map[int]pareto.Point{}
+	probe := func(bs int) error {
+		if _, done := points[bs]; done {
+			return nil
+		}
+		if len(points) >= budget {
+			return nil
+		}
+		p, err := eval(bs)
+		if err != nil {
+			return fmt.Errorf("optimize: evaluating BS=%d: %w", bs, err)
+		}
+		points[bs] = p
+		return nil
+	}
+	// Coarse anchors: the extremes plus quartiles.
+	anchors := []int{1, maxBS, (1 + maxBS) / 2, (1 + maxBS) / 4, 3 * (1 + maxBS) / 4}
+	for _, bs := range anchors {
+		if bs >= 1 && bs <= maxBS {
+			if err := probe(bs); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Refine: bisect the adjacent pair with the largest relative energy
+	// gap until the budget runs out or no interval can be split.
+	for len(points) < budget {
+		keys := sortedKeys(points)
+		bestGap, bestMid := 0.0, -1
+		for i := 1; i < len(keys); i++ {
+			lo, hi := keys[i-1], keys[i]
+			if hi-lo < 2 {
+				continue
+			}
+			a, b := points[lo], points[hi]
+			gap := relGap(a.Energy, b.Energy) + relGap(a.Time, b.Time)
+			if gap > bestGap {
+				bestGap = gap
+				bestMid = (lo + hi) / 2
+			}
+		}
+		if bestMid < 0 {
+			break
+		}
+		if err := probe(bestMid); err != nil {
+			return nil, err
+		}
+	}
+	keys := sortedKeys(points)
+	res := &SearchResult{Evaluated: keys, Evaluations: len(keys)}
+	all := make([]pareto.Point, 0, len(keys))
+	for _, k := range keys {
+		all = append(all, points[k])
+	}
+	res.Front = pareto.Front(all)
+	return res, nil
+}
+
+func sortedKeys(m map[int]pareto.Point) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func relGap(a, b float64) float64 {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo <= 0 {
+		return 0
+	}
+	return (hi - lo) / lo
+}

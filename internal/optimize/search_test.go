@@ -1,0 +1,115 @@
+package optimize
+
+import (
+	"errors"
+	"testing"
+
+	"energyprop/internal/gpusim"
+	"energyprop/internal/pareto"
+)
+
+// p100Evaluator measures one BS on the simulated P100 at G=1.
+func p100Evaluator(t *testing.T, w gpusim.MatMulWorkload) (Evaluator, *gpusim.Device) {
+	t.Helper()
+	dev := gpusim.NewP100()
+	return func(bs int) (pareto.Point, error) {
+		r, err := dev.RunMatMul(w, gpusim.MatMulConfig{BS: bs, G: 1, R: w.Products})
+		if err != nil {
+			return pareto.Point{}, err
+		}
+		return pareto.Point{Label: r.Config.String(), Time: r.Seconds, Energy: r.DynEnergyJ}, nil
+	}, dev
+}
+
+func TestSearchValidation(t *testing.T) {
+	eval := func(int) (pareto.Point, error) { return pareto.Point{Time: 1, Energy: 1}, nil }
+	if _, err := SearchBSFront(nil, 32, 10); err == nil {
+		t.Error("nil evaluator: want error")
+	}
+	if _, err := SearchBSFront(eval, 1, 10); err == nil {
+		t.Error("maxBS=1: want error")
+	}
+	if _, err := SearchBSFront(eval, 32, 1); err == nil {
+		t.Error("budget=1: want error")
+	}
+}
+
+func TestSearchRespectsBudget(t *testing.T) {
+	calls := 0
+	eval := func(bs int) (pareto.Point, error) {
+		calls++
+		return pareto.Point{Time: float64(40 - bs), Energy: float64(bs * bs)}, nil
+	}
+	res, err := SearchBSFront(eval, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls > 8 || res.Evaluations > 8 {
+		t.Errorf("calls=%d evaluations=%d exceed budget 8", calls, res.Evaluations)
+	}
+	if len(res.Front) == 0 {
+		t.Error("empty front")
+	}
+}
+
+func TestSearchPropagatesEvaluatorError(t *testing.T) {
+	boom := errors.New("boom")
+	eval := func(int) (pareto.Point, error) { return pareto.Point{}, boom }
+	if _, err := SearchBSFront(eval, 32, 5); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestSearchApproximatesExhaustiveFront(t *testing.T) {
+	// The paper's Section V.B point made quantitative: ~15 measurements
+	// out of 32 recover the headline trade-off of the exhaustive front.
+	w := gpusim.MatMulWorkload{N: 10240, Products: 8}
+	eval, dev := p100Evaluator(t, w)
+	res, err := SearchBSFront(eval, 32, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive reference over the same (G=1) axis.
+	var all []pareto.Point
+	for bs := 1; bs <= 32; bs++ {
+		r, err := dev.RunMatMul(w, gpusim.MatMulConfig{BS: bs, G: 1, R: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, pareto.Point{Label: r.Config.String(), Time: r.Seconds, Energy: r.DynEnergyJ})
+	}
+	exact := pareto.Front(all)
+	exactBest, err := pareto.BestTradeOff(exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approxBest, err := pareto.BestTradeOff(res.Front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approxBest.EnergySavingPct < exactBest.EnergySavingPct-8 {
+		t.Errorf("approximate best saving %.1f%% vs exhaustive %.1f%% (15 vs 32 evaluations)",
+			approxBest.EnergySavingPct, exactBest.EnergySavingPct)
+	}
+	if res.Evaluations >= 32 {
+		t.Errorf("search used %d evaluations, want < 32", res.Evaluations)
+	}
+}
+
+func TestSearchEvaluatedSortedAndDistinct(t *testing.T) {
+	eval := func(bs int) (pareto.Point, error) {
+		return pareto.Point{Time: float64(100 - bs), Energy: float64(bs)}, nil
+	}
+	res, err := SearchBSFront(eval, 32, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Evaluated); i++ {
+		if res.Evaluated[i] <= res.Evaluated[i-1] {
+			t.Fatal("evaluated set must be ascending and distinct")
+		}
+	}
+	if res.Evaluated[0] != 1 || res.Evaluated[len(res.Evaluated)-1] != 32 {
+		t.Error("extremes must always be probed")
+	}
+}

@@ -1,0 +1,220 @@
+// Package pareto implements the bi-objective optimization machinery the
+// paper uses to analyze dynamic energy versus performance: Pareto
+// dominance over (execution time, dynamic energy) points, the global
+// Pareto front, non-dominated sorting into successive ranks (the paper's
+// "local Pareto fronts" containing solutions less optimal than the global
+// front), and trade-off analysis expressed as the paper reports it —
+// "X% dynamic energy savings while tolerating a performance degradation
+// of Y%".
+package pareto
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one application configuration's outcome; both objectives are
+// minimized.
+type Point struct {
+	// Label identifies the configuration, e.g. "(BS=24, G=2, R=4)".
+	Label string
+	// Time is the execution time (seconds).
+	Time float64
+	// Energy is the dynamic energy (joules).
+	Energy float64
+}
+
+// Dominates reports whether a dominates b: a is no worse in both
+// objectives and strictly better in at least one.
+func Dominates(a, b Point) bool {
+	if a.Time > b.Time || a.Energy > b.Energy {
+		return false
+	}
+	return a.Time < b.Time || a.Energy < b.Energy
+}
+
+// Front returns the global Pareto front of the points: the non-dominated
+// subset, sorted by increasing time. Duplicate objective vectors are
+// collapsed to a single representative (the first encountered), matching
+// how the paper counts front points. The input is not modified.
+func Front(points []Point) []Point {
+	ranks := Ranks(points)
+	if len(ranks) == 0 {
+		return nil
+	}
+	return ranks[0]
+}
+
+// Ranks performs non-dominated sorting: rank 0 is the global Pareto front,
+// rank 1 the front of what remains (the paper's "local Pareto front"), and
+// so on. Every rank is sorted by increasing time; duplicate objective
+// vectors within a rank are collapsed.
+func Ranks(points []Point) [][]Point {
+	remaining := make([]Point, 0, len(points))
+	seen := make(map[[2]float64]bool, len(points))
+	for _, p := range points {
+		key := [2]float64{p.Time, p.Energy}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		remaining = append(remaining, p)
+	}
+	var out [][]Point
+	for len(remaining) > 0 {
+		var front, rest []Point
+		for i, p := range remaining {
+			dominated := false
+			for j, q := range remaining {
+				if i != j && Dominates(q, p) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				rest = append(rest, p)
+			} else {
+				front = append(front, p)
+			}
+		}
+		sort.Slice(front, func(i, j int) bool {
+			if front[i].Time != front[j].Time {
+				return front[i].Time < front[j].Time
+			}
+			return front[i].Energy < front[j].Energy
+		})
+		out = append(out, front)
+		remaining = rest
+	}
+	return out
+}
+
+// TradeOff expresses one front point relative to the front's
+// performance-optimal point.
+type TradeOff struct {
+	Point Point
+	// PerfDegradationPct is how much slower this point is than the
+	// time-optimal point, in percent.
+	PerfDegradationPct float64
+	// EnergySavingPct is how much dynamic energy this point saves relative
+	// to the time-optimal point, in percent.
+	EnergySavingPct float64
+}
+
+// ErrEmptyFront is returned when trade-off analysis receives no points.
+var ErrEmptyFront = errors.New("pareto: empty front")
+
+// TradeOffs computes, for every point of a front, its performance
+// degradation and energy saving relative to the front's time-optimal
+// point — the numbers the paper's abstract reports, e.g. "(50%, 11%)" for
+// the P100. The input should be a Pareto front (sorted or not).
+func TradeOffs(front []Point) ([]TradeOff, error) {
+	if len(front) == 0 {
+		return nil, ErrEmptyFront
+	}
+	best := front[0]
+	for _, p := range front[1:] {
+		if p.Time < best.Time {
+			best = p
+		}
+	}
+	if best.Time <= 0 || best.Energy <= 0 {
+		return nil, fmt.Errorf("pareto: time-optimal point %+v must have positive objectives", best)
+	}
+	out := make([]TradeOff, len(front))
+	for i, p := range front {
+		out[i] = TradeOff{
+			Point:              p,
+			PerfDegradationPct: 100 * (p.Time - best.Time) / best.Time,
+			EnergySavingPct:    100 * (best.Energy - p.Energy) / best.Energy,
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].PerfDegradationPct < out[j].PerfDegradationPct
+	})
+	return out, nil
+}
+
+// BestTradeOff returns the trade-off with the largest energy saving on
+// the front, i.e. the headline "max X% savings at Y% degradation" pair.
+func BestTradeOff(front []Point) (TradeOff, error) {
+	tos, err := TradeOffs(front)
+	if err != nil {
+		return TradeOff{}, err
+	}
+	best := tos[0]
+	for _, to := range tos[1:] {
+		if to.EnergySavingPct > best.EnergySavingPct {
+			best = to
+		}
+	}
+	return best, nil
+}
+
+// Hypervolume returns the area dominated by the front relative to a
+// reference point worse than every front point in both objectives — a
+// standard scalar quality measure for bi-objective fronts, useful for
+// comparing fronts across devices or workloads.
+func Hypervolume(front []Point, ref Point) (float64, error) {
+	if len(front) == 0 {
+		return 0, ErrEmptyFront
+	}
+	pts := append([]Point(nil), front...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Time < pts[j].Time })
+	hv := 0.0
+	prevEnergy := ref.Energy
+	for _, p := range pts {
+		if p.Time > ref.Time || p.Energy > ref.Energy {
+			return 0, fmt.Errorf("pareto: point %+v not dominated by reference %+v", p, ref)
+		}
+		width := ref.Time - p.Time
+		height := prevEnergy - p.Energy
+		if height < 0 {
+			// Dominated point in the input (not a true front): skip its
+			// contribution rather than double count.
+			continue
+		}
+		hv += width * height
+		prevEnergy = p.Energy
+	}
+	return hv, nil
+}
+
+// Spread summarizes a set of points for weak-EP analysis: the relative
+// range of each objective over the set.
+type Spread struct {
+	MinTime, MaxTime     float64
+	MinEnergy, MaxEnergy float64
+	// TimeSpreadPct is 100·(MaxTime−MinTime)/MinTime.
+	TimeSpreadPct float64
+	// EnergySpreadPct is 100·(MaxEnergy−MinEnergy)/MinEnergy.
+	EnergySpreadPct float64
+}
+
+// ComputeSpread summarizes the objective ranges of the points.
+func ComputeSpread(points []Point) (Spread, error) {
+	if len(points) == 0 {
+		return Spread{}, ErrEmptyFront
+	}
+	s := Spread{
+		MinTime:   math.Inf(1),
+		MinEnergy: math.Inf(1),
+		MaxTime:   math.Inf(-1),
+		MaxEnergy: math.Inf(-1),
+	}
+	for _, p := range points {
+		s.MinTime = math.Min(s.MinTime, p.Time)
+		s.MaxTime = math.Max(s.MaxTime, p.Time)
+		s.MinEnergy = math.Min(s.MinEnergy, p.Energy)
+		s.MaxEnergy = math.Max(s.MaxEnergy, p.Energy)
+	}
+	if s.MinTime > 0 {
+		s.TimeSpreadPct = 100 * (s.MaxTime - s.MinTime) / s.MinTime
+	}
+	if s.MinEnergy > 0 {
+		s.EnergySpreadPct = 100 * (s.MaxEnergy - s.MinEnergy) / s.MinEnergy
+	}
+	return s, nil
+}

@@ -1,0 +1,276 @@
+package pareto
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates(t *testing.T) {
+	a := Point{Time: 1, Energy: 1}
+	cases := []struct {
+		b    Point
+		want bool
+	}{
+		{Point{Time: 2, Energy: 2}, true},  // strictly worse in both
+		{Point{Time: 1, Energy: 2}, true},  // equal time, worse energy
+		{Point{Time: 2, Energy: 1}, true},  // worse time, equal energy
+		{Point{Time: 1, Energy: 1}, false}, // identical
+		{Point{Time: 0.5, Energy: 2}, false},
+		{Point{Time: 2, Energy: 0.5}, false},
+		{Point{Time: 0.5, Energy: 0.5}, false},
+	}
+	for _, c := range cases {
+		if got := Dominates(a, c.b); got != c.want {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFrontBasic(t *testing.T) {
+	pts := []Point{
+		{Label: "a", Time: 1, Energy: 10},
+		{Label: "b", Time: 2, Energy: 5},
+		{Label: "c", Time: 3, Energy: 1},
+		{Label: "d", Time: 2.5, Energy: 6}, // dominated by b
+		{Label: "e", Time: 4, Energy: 2},   // dominated by c
+	}
+	front := Front(pts)
+	if len(front) != 3 {
+		t.Fatalf("front size %d, want 3", len(front))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if front[i].Label != want {
+			t.Errorf("front[%d] = %s, want %s (sorted by time)", i, front[i].Label, want)
+		}
+	}
+}
+
+func TestFrontEmptyAndSingle(t *testing.T) {
+	if Front(nil) != nil {
+		t.Error("empty input should give nil front")
+	}
+	f := Front([]Point{{Label: "only", Time: 1, Energy: 1}})
+	if len(f) != 1 || f[0].Label != "only" {
+		t.Error("single point front")
+	}
+}
+
+func TestFrontCollapsesDuplicates(t *testing.T) {
+	pts := []Point{
+		{Label: "a", Time: 1, Energy: 1},
+		{Label: "a2", Time: 1, Energy: 1},
+		{Label: "b", Time: 2, Energy: 0.5},
+	}
+	front := Front(pts)
+	if len(front) != 2 {
+		t.Fatalf("front size %d, want 2 (duplicate objective vectors collapse)", len(front))
+	}
+}
+
+func TestRanksStructure(t *testing.T) {
+	pts := []Point{
+		{Label: "g1", Time: 1, Energy: 4},
+		{Label: "g2", Time: 4, Energy: 1},
+		{Label: "l1", Time: 2, Energy: 5},
+		{Label: "l2", Time: 5, Energy: 2},
+		{Label: "w1", Time: 6, Energy: 6},
+	}
+	ranks := Ranks(pts)
+	if len(ranks) != 3 {
+		t.Fatalf("got %d ranks, want 3", len(ranks))
+	}
+	if len(ranks[0]) != 2 || len(ranks[1]) != 2 || len(ranks[2]) != 1 {
+		t.Errorf("rank sizes %d/%d/%d, want 2/2/1", len(ranks[0]), len(ranks[1]), len(ranks[2]))
+	}
+	if ranks[2][0].Label != "w1" {
+		t.Error("worst point should land in last rank")
+	}
+}
+
+func TestRanksPartitionProperty(t *testing.T) {
+	// Ranks must partition the (deduplicated) points, every rank must be
+	// internally non-dominated, and every rank-k point must be dominated
+	// by some rank-(k-1) point.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{Time: float64(rng.Intn(20)) + 1, Energy: float64(rng.Intn(20)) + 1}
+		}
+		ranks := Ranks(pts)
+		total := 0
+		for k, rank := range ranks {
+			total += len(rank)
+			for i, p := range rank {
+				for j, q := range rank {
+					if i != j && Dominates(q, p) {
+						return false
+					}
+				}
+				if k > 0 {
+					dominated := false
+					for _, q := range ranks[k-1] {
+						if Dominates(q, p) {
+							dominated = true
+							break
+						}
+					}
+					if !dominated {
+						return false
+					}
+				}
+			}
+		}
+		// Total equals number of distinct objective vectors.
+		distinct := map[[2]float64]bool{}
+		for _, p := range pts {
+			distinct[[2]float64{p.Time, p.Energy}] = true
+		}
+		return total == len(distinct)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrontPointsNotDominatedProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{Time: rng.Float64() * 100, Energy: rng.Float64() * 100}
+		}
+		front := Front(pts)
+		for _, f := range front {
+			for _, p := range pts {
+				if Dominates(p, f) {
+					return false
+				}
+			}
+		}
+		// Every non-front point must be dominated by some front point (or
+		// be a duplicate of one).
+		inFront := map[[2]float64]bool{}
+		for _, f := range front {
+			inFront[[2]float64{f.Time, f.Energy}] = true
+		}
+		for _, p := range pts {
+			if inFront[[2]float64{p.Time, p.Energy}] {
+				continue
+			}
+			dominated := false
+			for _, f := range front {
+				if Dominates(f, p) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTradeOffs(t *testing.T) {
+	front := []Point{
+		{Label: "fast", Time: 10, Energy: 100},
+		{Label: "mid", Time: 11, Energy: 80},
+		{Label: "slow", Time: 12, Energy: 50},
+	}
+	tos, err := TradeOffs(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tos[0].PerfDegradationPct != 0 || tos[0].EnergySavingPct != 0 {
+		t.Error("time-optimal point must be the zero trade-off")
+	}
+	if math.Abs(tos[1].PerfDegradationPct-10) > 1e-9 {
+		t.Errorf("mid degradation = %v, want 10", tos[1].PerfDegradationPct)
+	}
+	if math.Abs(tos[1].EnergySavingPct-20) > 1e-9 {
+		t.Errorf("mid saving = %v, want 20", tos[1].EnergySavingPct)
+	}
+	if math.Abs(tos[2].EnergySavingPct-50) > 1e-9 {
+		t.Errorf("slow saving = %v, want 50", tos[2].EnergySavingPct)
+	}
+}
+
+func TestTradeOffsErrors(t *testing.T) {
+	if _, err := TradeOffs(nil); err == nil {
+		t.Error("empty front: want error")
+	}
+	if _, err := TradeOffs([]Point{{Time: 0, Energy: 1}}); err == nil {
+		t.Error("zero time: want error")
+	}
+}
+
+func TestBestTradeOff(t *testing.T) {
+	front := []Point{
+		{Label: "fast", Time: 10, Energy: 100},
+		{Label: "slow", Time: 11.1, Energy: 50},
+	}
+	best, err := BestTradeOff(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Point.Label != "slow" {
+		t.Errorf("best = %v, want slow", best.Point.Label)
+	}
+	if math.Abs(best.EnergySavingPct-50) > 1e-9 || math.Abs(best.PerfDegradationPct-11) > 1e-9 {
+		t.Errorf("best = (%.1f%%, %.1f%%), want (50%%, 11%%)", best.EnergySavingPct, best.PerfDegradationPct)
+	}
+	if _, err := BestTradeOff(nil); err == nil {
+		t.Error("empty front: want error")
+	}
+}
+
+func TestHypervolume(t *testing.T) {
+	front := []Point{
+		{Time: 1, Energy: 3},
+		{Time: 2, Energy: 1},
+	}
+	ref := Point{Time: 4, Energy: 4}
+	// Point (1,3): width 3, height 1 → 3. Point (2,1): width 2, height 2 → 4.
+	hv, err := Hypervolume(front, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hv-7) > 1e-12 {
+		t.Errorf("hypervolume = %v, want 7", hv)
+	}
+	if _, err := Hypervolume(front, Point{Time: 1.5, Energy: 4}); err == nil {
+		t.Error("reference not dominating all points: want error")
+	}
+	if _, err := Hypervolume(nil, ref); err == nil {
+		t.Error("empty front: want error")
+	}
+}
+
+func TestComputeSpread(t *testing.T) {
+	s, err := ComputeSpread([]Point{
+		{Time: 10, Energy: 100},
+		{Time: 12, Energy: 150},
+		{Time: 11, Energy: 120},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.TimeSpreadPct-20) > 1e-9 {
+		t.Errorf("time spread = %v, want 20", s.TimeSpreadPct)
+	}
+	if math.Abs(s.EnergySpreadPct-50) > 1e-9 {
+		t.Errorf("energy spread = %v, want 50", s.EnergySpreadPct)
+	}
+	if _, err := ComputeSpread(nil); err == nil {
+		t.Error("empty: want error")
+	}
+}

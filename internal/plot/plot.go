@@ -1,0 +1,277 @@
+// Package plot is a minimal, dependency-free SVG chart renderer used by
+// the experiment harness to regenerate the paper's figures as images:
+// scatter and line series, linear or log₁₀ axes with "nice" tick values, a
+// legend, and axis labels. It is intentionally small — enough to draw
+// Fig 1's log-log energy curves and the Fig 2/7/8 scatter-plus-front
+// plots faithfully.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Marker selects the point glyph of a series.
+type Marker int
+
+const (
+	// MarkerCircle draws hollow circles (scatter clouds).
+	MarkerCircle Marker = iota
+	// MarkerSquare draws filled squares (the paper's Pareto-front points).
+	MarkerSquare
+	// MarkerNone draws no point glyphs (pure lines).
+	MarkerNone
+)
+
+// Series is one named data series.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker Marker
+	// Line connects consecutive points when true.
+	Line bool
+	// Color is any SVG color; empty picks from the default palette.
+	Color string
+}
+
+// Plot is one chart.
+type Plot struct {
+	Title, XLabel, YLabel string
+	// Width and Height are the SVG pixel dimensions (defaults 640×480).
+	Width, Height int
+	// LogX and LogY select log₁₀ axes; all data on that axis must be
+	// positive.
+	LogX, LogY bool
+
+	series []Series
+}
+
+// New returns an empty plot.
+func New(title, xlabel, ylabel string) *Plot {
+	return &Plot{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 640, Height: 480}
+}
+
+var defaultPalette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// Add appends a series after validating it.
+func (p *Plot) Add(s Series) error {
+	if len(s.X) == 0 || len(s.X) != len(s.Y) {
+		return fmt.Errorf("plot: series %q needs equal, non-empty X and Y", s.Name)
+	}
+	for i := range s.X {
+		if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) || math.IsInf(s.X[i], 0) || math.IsInf(s.Y[i], 0) {
+			return fmt.Errorf("plot: series %q has non-finite point %d", s.Name, i)
+		}
+	}
+	if s.Color == "" {
+		s.Color = defaultPalette[len(p.series)%len(defaultPalette)]
+	}
+	p.series = append(p.series, s)
+	return nil
+}
+
+// axis maps data values to pixels for one dimension.
+type axis struct {
+	min, max float64
+	log      bool
+	pixLo    float64
+	pixHi    float64
+}
+
+func (a *axis) pos(v float64) float64 {
+	lo, hi, x := a.min, a.max, v
+	if a.log {
+		lo, hi, x = math.Log10(lo), math.Log10(hi), math.Log10(v)
+	}
+	if hi == lo {
+		return (a.pixLo + a.pixHi) / 2
+	}
+	return a.pixLo + (x-lo)/(hi-lo)*(a.pixHi-a.pixLo)
+}
+
+// niceTicks returns ~5 round tick values covering [lo, hi].
+func niceTicks(lo, hi float64) []float64 {
+	if hi <= lo {
+		return []float64{lo}
+	}
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/4)))
+	for span/step > 8 {
+		step *= 2
+		if span/step <= 8 {
+			break
+		}
+		step *= 2.5
+	}
+	start := math.Ceil(lo/step) * step
+	var out []float64
+	for v := start; v <= hi+step*1e-9; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+// logTicks returns decade tick values covering [lo, hi].
+func logTicks(lo, hi float64) []float64 {
+	var out []float64
+	for e := math.Floor(math.Log10(lo)); e <= math.Ceil(math.Log10(hi)); e++ {
+		v := math.Pow(10, e)
+		if v >= lo/1.0001 && v <= hi*1.0001 {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		out = []float64{lo, hi}
+	}
+	return out
+}
+
+func tickLabel(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e5 || av < 1e-3:
+		return fmt.Sprintf("%.0e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// SVG renders the chart.
+func (p *Plot) SVG() (string, error) {
+	if len(p.series) == 0 {
+		return "", errors.New("plot: no series")
+	}
+	if p.Width <= 0 {
+		p.Width = 640
+	}
+	if p.Height <= 0 {
+		p.Height = 480
+	}
+	// Data extents.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.X {
+			if p.LogX && s.X[i] <= 0 {
+				return "", fmt.Errorf("plot: series %q has non-positive X on a log axis", s.Name)
+			}
+			if p.LogY && s.Y[i] <= 0 {
+				return "", fmt.Errorf("plot: series %q has non-positive Y on a log axis", s.Name)
+			}
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	// Pad linear extents slightly so points are not on the border.
+	if !p.LogX {
+		pad := (xmax - xmin) * 0.05
+		if pad == 0 {
+			pad = math.Abs(xmax)*0.05 + 1
+		}
+		xmin, xmax = xmin-pad, xmax+pad
+	}
+	if !p.LogY {
+		pad := (ymax - ymin) * 0.05
+		if pad == 0 {
+			pad = math.Abs(ymax)*0.05 + 1
+		}
+		ymin, ymax = ymin-pad, ymax+pad
+	}
+
+	const mL, mR, mT, mB = 70, 20, 40, 55
+	xa := axis{min: xmin, max: xmax, log: p.LogX, pixLo: mL, pixHi: float64(p.Width) - mR}
+	ya := axis{min: ymin, max: ymax, log: p.LogY, pixLo: float64(p.Height) - mB, pixHi: mT}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		p.Width, p.Height, p.Width, p.Height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	// Frame.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%g" height="%g" fill="none" stroke="black"/>`+"\n",
+		mL, mT, float64(p.Width)-mL-mR, float64(p.Height)-mT-mB)
+	// Title and axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="15" text-anchor="middle" font-family="sans-serif">%s</text>`+"\n",
+		p.Width/2, escape(p.Title))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="13" text-anchor="middle" font-family="sans-serif">%s</text>`+"\n",
+		p.Width/2, p.Height-12, escape(p.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="13" text-anchor="middle" font-family="sans-serif" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		p.Height/2, p.Height/2, escape(p.YLabel))
+
+	// Ticks and grid.
+	xticks := niceTicks(xmin, xmax)
+	if p.LogX {
+		xticks = logTicks(xmin, xmax)
+	}
+	yticks := niceTicks(ymin, ymax)
+	if p.LogY {
+		yticks = logTicks(ymin, ymax)
+	}
+	for _, v := range xticks {
+		x := xa.pos(v)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%g" x2="%.1f" y2="%g" stroke="#ddd"/>`+"\n",
+			x, ya.pixLo, x, ya.pixHi)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%g" font-size="11" text-anchor="middle" font-family="sans-serif">%s</text>`+"\n",
+			x, ya.pixLo+16, tickLabel(v))
+	}
+	for _, v := range yticks {
+		y := ya.pos(v)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%.1f" x2="%g" y2="%.1f" stroke="#ddd"/>`+"\n",
+			xa.pixLo, y, xa.pixHi, y)
+		fmt.Fprintf(&b, `<text x="%g" y="%.1f" font-size="11" text-anchor="end" font-family="sans-serif">%s</text>`+"\n",
+			xa.pixLo-6, y+4, tickLabel(v))
+	}
+
+	// Series.
+	for _, s := range p.series {
+		if s.Line {
+			var pathB strings.Builder
+			for i := range s.X {
+				cmd := "L"
+				if i == 0 {
+					cmd = "M"
+				}
+				fmt.Fprintf(&pathB, "%s%.1f %.1f ", cmd, xa.pos(s.X[i]), ya.pos(s.Y[i]))
+			}
+			fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				strings.TrimSpace(pathB.String()), s.Color)
+		}
+		switch s.Marker {
+		case MarkerCircle:
+			for i := range s.X {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="none" stroke="%s"/>`+"\n",
+					xa.pos(s.X[i]), ya.pos(s.Y[i]), s.Color)
+			}
+		case MarkerSquare:
+			for i := range s.X {
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="6" height="6" fill="%s"/>`+"\n",
+					xa.pos(s.X[i])-3, ya.pos(s.Y[i])-3, s.Color)
+			}
+		}
+	}
+
+	// Legend.
+	ly := mT + 10
+	for _, s := range p.series {
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", mL+10, ly, s.Color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" font-family="sans-serif">%s</text>`+"\n",
+			mL+25, ly+9, escape(s.Name))
+		ly += 16
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}

@@ -1,0 +1,157 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSVGBasicStructure(t *testing.T) {
+	p := New("Title & Co", "x <axis>", "y")
+	if err := p.Add(Series{Name: "s1", X: []float64{1, 2, 3}, Y: []float64{4, 5, 6}, Marker: MarkerCircle}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(Series{Name: "s2", X: []float64{1, 2}, Y: []float64{6, 4}, Line: true, Marker: MarkerSquare}); err != nil {
+		t.Fatal(err)
+	}
+	svg, err := p.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg", "</svg>", "Title &amp; Co", "x &lt;axis&gt;",
+		"<circle", "<rect", "<path", "s1", "s2",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Three circles for s1.
+	if got := strings.Count(svg, "<circle"); got != 3 {
+		t.Errorf("circle count %d, want 3", got)
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	p := New("t", "x", "y")
+	if _, err := p.SVG(); err == nil {
+		t.Error("no series: want error")
+	}
+	if err := p.Add(Series{Name: "bad", X: []float64{1}, Y: []float64{}}); err == nil {
+		t.Error("mismatched lengths: want error")
+	}
+	if err := p.Add(Series{Name: "nan", X: []float64{math.NaN()}, Y: []float64{1}}); err == nil {
+		t.Error("NaN point: want error")
+	}
+	if err := p.Add(Series{Name: "inf", X: []float64{1}, Y: []float64{math.Inf(1)}}); err == nil {
+		t.Error("Inf point: want error")
+	}
+}
+
+func TestLogAxisRejectsNonPositive(t *testing.T) {
+	p := New("t", "x", "y")
+	p.LogY = true
+	if err := p.Add(Series{Name: "s", X: []float64{1, 2}, Y: []float64{1, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SVG(); err == nil {
+		t.Error("zero value on log axis: want error")
+	}
+}
+
+func TestLogLogRenders(t *testing.T) {
+	p := New("loglog", "w", "e")
+	p.LogX, p.LogY = true, true
+	xs := []float64{1e3, 1e5, 1e7, 1e9}
+	ys := []float64{0.1, 10, 1000, 1e5}
+	if err := p.Add(Series{Name: "curve", X: xs, Y: ys, Line: true, Marker: MarkerCircle}); err != nil {
+		t.Fatal(err)
+	}
+	svg, err := p.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "1e+") && !strings.Contains(svg, "1000") {
+		t.Error("expected decade tick labels")
+	}
+}
+
+func TestNiceTicksProperties(t *testing.T) {
+	check := func(loRaw, spanRaw float64) bool {
+		lo := math.Mod(loRaw, 1e6)
+		span := 0.1 + math.Abs(math.Mod(spanRaw, 1e6))
+		hi := lo + span
+		ticks := niceTicks(lo, hi)
+		if len(ticks) < 1 || len(ticks) > 12 {
+			return false
+		}
+		for i, v := range ticks {
+			if v < lo-span*1e-6 || v > hi+span*1e-6 {
+				return false
+			}
+			if i > 0 && v <= ticks[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNiceTicksDegenerate(t *testing.T) {
+	ticks := niceTicks(5, 5)
+	if len(ticks) != 1 || ticks[0] != 5 {
+		t.Errorf("degenerate range ticks = %v", ticks)
+	}
+}
+
+func TestTickLabelFormats(t *testing.T) {
+	cases := map[float64]string{
+		0:    "0",
+		250:  "250",
+		2.5:  "2.5",
+		1e6:  "1e+06",
+		1e-4: "1e-04",
+	}
+	for v, want := range cases {
+		if got := tickLabel(v); got != want {
+			t.Errorf("tickLabel(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestDefaultPaletteCycles(t *testing.T) {
+	p := New("t", "x", "y")
+	for i := 0; i < 8; i++ {
+		if err := p.Add(Series{Name: "s", X: []float64{1}, Y: []float64{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.series[0].Color != p.series[6].Color {
+		t.Error("palette should cycle after 6 series")
+	}
+	if p.series[0].Color == p.series[1].Color {
+		t.Error("adjacent series should differ in color")
+	}
+}
+
+func TestAxisPosMapsEndpoints(t *testing.T) {
+	a := axis{min: 10, max: 20, pixLo: 100, pixHi: 200}
+	if got := a.pos(10); got != 100 {
+		t.Errorf("pos(min) = %v, want 100", got)
+	}
+	if got := a.pos(20); got != 200 {
+		t.Errorf("pos(max) = %v, want 200", got)
+	}
+	if got := a.pos(15); got != 150 {
+		t.Errorf("pos(mid) = %v, want 150", got)
+	}
+	// Degenerate axis centers.
+	d := axis{min: 5, max: 5, pixLo: 0, pixHi: 100}
+	if got := d.pos(5); got != 50 {
+		t.Errorf("degenerate pos = %v, want 50", got)
+	}
+}

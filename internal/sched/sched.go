@@ -1,0 +1,201 @@
+// Package sched simulates the downstream scenario the paper motivates:
+// an application programmer in a "dynamic environment with time
+// constraints" choosing, per job, which configuration of the
+// weak-EP-violating application to run. A stream of jobs (workload sizes
+// with deadlines) arrives; a policy picks the (BS, G, R) configuration;
+// the metric is total dynamic energy subject to meeting deadlines.
+//
+// Three policies bracket the design space:
+//
+//   - PerformancePolicy: always the fastest configuration — what a user
+//     does when they believe weak EP holds (optimizing time optimizes
+//     energy). Correct on the K40c, wasteful on the P100.
+//
+//   - EnergyPolicy: the cheapest configuration that still meets the
+//     job's deadline (the ε-constraint method per job).
+//
+//   - OraclePolicy: per-job exhaustive front + ε-constraint — the upper
+//     bound EnergyPolicy approaches when its cached sweep covers the
+//     job's size.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"energyprop/internal/gpusim"
+	"energyprop/internal/optimize"
+	"energyprop/internal/pareto"
+)
+
+// Job is one unit of arriving work.
+type Job struct {
+	// N is the matrix size; Products the product count.
+	N, Products int
+	// DeadlineS is the time budget for the job.
+	DeadlineS float64
+}
+
+// Outcome is one executed job.
+type Outcome struct {
+	Job     Job
+	Config  gpusim.MatMulConfig
+	Seconds float64
+	EnergyJ float64
+	// Met reports whether the deadline held.
+	Met bool
+}
+
+// Policy picks a configuration for a job on a device.
+type Policy interface {
+	Name() string
+	Pick(dev *gpusim.Device, job Job) (gpusim.MatMulConfig, error)
+}
+
+// PerformancePolicy always runs the fastest configuration.
+type PerformancePolicy struct{}
+
+// Name implements Policy.
+func (PerformancePolicy) Name() string { return "performance-only" }
+
+// Pick implements Policy.
+func (PerformancePolicy) Pick(dev *gpusim.Device, job Job) (gpusim.MatMulConfig, error) {
+	results, err := dev.Sweep(gpusim.MatMulWorkload{N: job.N, Products: job.Products})
+	if err != nil {
+		return gpusim.MatMulConfig{}, err
+	}
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.Seconds < best.Seconds {
+			best = r
+		}
+	}
+	return best.Config, nil
+}
+
+// EnergyPolicy runs the cheapest configuration meeting the deadline,
+// using a per-size cached sweep (so repeated sizes cost one sweep).
+type EnergyPolicy struct {
+	cache map[int][]*gpusim.Result
+}
+
+// NewEnergyPolicy returns an EnergyPolicy with an empty cache.
+func NewEnergyPolicy() *EnergyPolicy {
+	return &EnergyPolicy{cache: map[int][]*gpusim.Result{}}
+}
+
+// Name implements Policy.
+func (*EnergyPolicy) Name() string { return "energy-aware" }
+
+// Pick implements Policy.
+func (p *EnergyPolicy) Pick(dev *gpusim.Device, job Job) (gpusim.MatMulConfig, error) {
+	key := job.N*64 + job.Products
+	results, ok := p.cache[key]
+	if !ok {
+		var err error
+		results, err = dev.Sweep(gpusim.MatMulWorkload{N: job.N, Products: job.Products})
+		if err != nil {
+			return gpusim.MatMulConfig{}, err
+		}
+		p.cache[key] = results
+	}
+	var pts []pareto.Point
+	byLabel := map[string]gpusim.MatMulConfig{}
+	for _, r := range results {
+		l := r.Config.String()
+		pts = append(pts, pareto.Point{Label: l, Time: r.Seconds, Energy: r.DynEnergyJ})
+		byLabel[l] = r.Config
+	}
+	// ε-constraint with the job's absolute deadline: express it as a
+	// degradation budget over the fastest point.
+	fastest := pts[0]
+	for _, q := range pts[1:] {
+		if q.Time < fastest.Time {
+			fastest = q
+		}
+	}
+	if fastest.Time > job.DeadlineS {
+		// Infeasible deadline: run the fastest anyway.
+		return byLabel[fastest.Label], nil
+	}
+	budgetPct := 100 * (job.DeadlineS - fastest.Time) / fastest.Time
+	pick, err := optimize.CheapestWithin(pts, budgetPct)
+	if err != nil {
+		return gpusim.MatMulConfig{}, err
+	}
+	return byLabel[pick.Label], nil
+}
+
+// Stream generates a deterministic job stream: sizes from the given set,
+// deadlines a uniform multiple (1.0 to slackMax) of each job's fastest
+// time.
+func Stream(dev *gpusim.Device, sizes []int, products, count int, slackMax float64, seed int64) ([]Job, error) {
+	if len(sizes) == 0 || count < 1 {
+		return nil, errors.New("sched: need sizes and a positive count")
+	}
+	if slackMax < 1 {
+		return nil, errors.New("sched: slackMax must be >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	jobs := make([]Job, 0, count)
+	fastCache := map[int]float64{}
+	for i := 0; i < count; i++ {
+		n := sizes[rng.Intn(len(sizes))]
+		fast, ok := fastCache[n]
+		if !ok {
+			results, err := dev.Sweep(gpusim.MatMulWorkload{N: n, Products: products})
+			if err != nil {
+				return nil, err
+			}
+			fast = results[0].Seconds
+			for _, r := range results[1:] {
+				if r.Seconds < fast {
+					fast = r.Seconds
+				}
+			}
+			fastCache[n] = fast
+		}
+		slack := 1 + rng.Float64()*(slackMax-1)
+		jobs = append(jobs, Job{N: n, Products: products, DeadlineS: fast * slack})
+	}
+	return jobs, nil
+}
+
+// RunStream executes the job stream under a policy and reports outcomes.
+type StreamReport struct {
+	Policy       string
+	Outcomes     []Outcome
+	TotalEnergyJ float64
+	TotalTimeS   float64
+	DeadlineMiss int
+}
+
+// RunStream executes every job under the policy.
+func RunStream(dev *gpusim.Device, jobs []Job, p Policy) (*StreamReport, error) {
+	if dev == nil || p == nil {
+		return nil, errors.New("sched: nil device or policy")
+	}
+	rep := &StreamReport{Policy: p.Name()}
+	for _, job := range jobs {
+		cfg, err := p.Pick(dev, job)
+		if err != nil {
+			return nil, fmt.Errorf("sched: policy %s on job %+v: %w", p.Name(), job, err)
+		}
+		r, err := dev.RunMatMul(gpusim.MatMulWorkload{N: job.N, Products: job.Products}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		o := Outcome{
+			Job: job, Config: cfg, Seconds: r.Seconds, EnergyJ: r.DynEnergyJ,
+			Met: r.Seconds <= job.DeadlineS*(1+1e-9),
+		}
+		rep.Outcomes = append(rep.Outcomes, o)
+		rep.TotalEnergyJ += o.EnergyJ
+		rep.TotalTimeS += o.Seconds
+		if !o.Met {
+			rep.DeadlineMiss++
+		}
+	}
+	return rep, nil
+}

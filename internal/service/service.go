@@ -1,0 +1,216 @@
+// Package service exposes the measurement stack over HTTP — the analog of
+// running HCLWattsUp as a lab service that experiment scripts call into:
+//
+//	GET  /healthz                         liveness
+//	GET  /devices                         the simulated device catalog
+//	POST /measure   {device, workload, config, seed}
+//	                                      one configuration, measured with
+//	                                      the paper's statistical loop
+//	POST /sweep     {device, workload, seed}
+//	                                      a full measured campaign,
+//	                                      returned as a store.SweepRecord
+//
+// All bodies are JSON. Unknown fields are rejected so client typos
+// surface as errors rather than silently defaulted parameters.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"energyprop/internal/campaign"
+	"energyprop/internal/gpusim"
+	"energyprop/internal/meter"
+	"energyprop/internal/stats"
+)
+
+// deviceFactories maps the API device names to constructors. Each request
+// builds a fresh device so ablation state cannot leak between calls.
+var deviceFactories = map[string]func() *gpusim.Device{
+	"k40c": gpusim.NewK40c,
+	"p100": gpusim.NewP100,
+}
+
+// Server is the HTTP measurement service.
+type Server struct {
+	mux *http.ServeMux
+}
+
+// New builds the server.
+func New() *Server {
+	s := &Server{mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/devices", s.handleDevices)
+	s.mux.HandleFunc("/measure", s.handleMeasure)
+	s.mux.HandleFunc("/sweep", s.handleSweep)
+	return s
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	type deviceInfo struct {
+		Name     string  `json:"name"`
+		Catalog  string  `json:"catalog_name"`
+		TDPWatts float64 `json:"tdp_watts"`
+		IdleW    float64 `json:"idle_power_w"`
+	}
+	var out []deviceInfo
+	for _, name := range []string{"k40c", "p100"} {
+		d := deviceFactories[name]()
+		out = append(out, deviceInfo{
+			Name: name, Catalog: d.Spec.Name,
+			TDPWatts: d.Spec.TDPWatts, IdleW: d.Spec.IdlePowerW,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// MeasureRequest is the /measure body.
+type MeasureRequest struct {
+	Device   string                `json:"device"`
+	Workload gpusim.MatMulWorkload `json:"workload"`
+	Config   gpusim.MatMulConfig   `json:"config"`
+	Seed     int64                 `json:"seed"`
+}
+
+// MeasureResponse is the /measure reply.
+type MeasureResponse struct {
+	Device          string  `json:"device"`
+	Config          string  `json:"config"`
+	Seconds         float64 `json:"seconds"`
+	MeasuredEnergyJ float64 `json:"measured_energy_j"`
+	HalfWidthJ      float64 `json:"ci_halfwidth_j"`
+	Runs            int     `json:"runs"`
+}
+
+func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req MeasureRequest
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	factory, ok := deviceFactories[req.Device]
+	if !ok {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown device %q (want k40c or p100)", req.Device))
+		return
+	}
+	dev := factory()
+	if err := dev.ValidateConfig(req.Workload, req.Config); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	tr, err := dev.RunMatMulTraced(req.Workload, req.Config)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	spec := campaign.DefaultSpec(req.Seed)
+	meas, err := measureOne(dev, tr, spec)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, MeasureResponse{
+		Device:          dev.Spec.Name,
+		Config:          req.Config.String(),
+		Seconds:         tr.TraceSeconds,
+		MeasuredEnergyJ: meas.Mean,
+		HalfWidthJ:      meas.HalfWidth,
+		Runs:            meas.Runs,
+	})
+}
+
+// measureOne applies the statistical loop to a traced run.
+func measureOne(dev *gpusim.Device, tr *gpusim.TracedResult, spec campaign.Spec) (*stats.Measurement, error) {
+	run := tr.Run(dev.Spec.IdlePowerW)
+	m := meter.NewMeter(dev.Spec.IdlePowerW, spec.Seed)
+	m.NoiseFrac = spec.NoiseFrac
+	if d := run.Duration(); d < 50 {
+		m.SampleInterval = d / 50 // resolve short kernels (see campaign.Run)
+	}
+	return stats.Measure(spec.Measure, func() (float64, error) {
+		rep, err := m.MeasureRun(run)
+		if err != nil {
+			return 0, err
+		}
+		return rep.DynamicEnergyJ, nil
+	})
+}
+
+// SweepRequest is the /sweep body.
+type SweepRequest struct {
+	Device   string                `json:"device"`
+	Workload gpusim.MatMulWorkload `json:"workload"`
+	Seed     int64                 `json:"seed"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req SweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	factory, ok := deviceFactories[req.Device]
+	if !ok {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown device %q (want k40c or p100)", req.Device))
+		return
+	}
+	dev := factory()
+	if err := req.Workload.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := campaign.Run(dev, req.Workload, campaign.DefaultSpec(req.Seed))
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	rec, err := res.Record()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func decodeJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,196 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"energyprop/internal/gpusim"
+	"energyprop/internal/store"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New().Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" {
+		t.Errorf("body %v", body)
+	}
+}
+
+func TestHealthzMethodNotAllowed(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/healthz", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestDevices(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/devices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var devices []struct {
+		Name    string `json:"name"`
+		Catalog string `json:"catalog_name"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&devices); err != nil {
+		t.Fatal(err)
+	}
+	if len(devices) != 2 {
+		t.Fatalf("%d devices, want 2", len(devices))
+	}
+	if devices[0].Name != "k40c" || devices[1].Name != "p100" {
+		t.Errorf("devices %v", devices)
+	}
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestMeasureEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	req := MeasureRequest{
+		Device:   "p100",
+		Workload: gpusim.MatMulWorkload{N: 4096, Products: 2},
+		Config:   gpusim.MatMulConfig{BS: 24, G: 1, R: 2},
+		Seed:     1,
+	}
+	resp := postJSON(t, ts.URL+"/measure", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out MeasureResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.MeasuredEnergyJ <= 0 || out.Seconds <= 0 || out.Runs < 2 {
+		t.Errorf("response %+v", out)
+	}
+	if out.Config != "(BS=24, G=1, R=2)" {
+		t.Errorf("config %q", out.Config)
+	}
+}
+
+func TestMeasureRejectsBadRequests(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"garbage", "{not json"},
+		{"unknown field", `{"device":"p100","bogus":1}`},
+		{"unknown device", `{"device":"gtx480","workload":{"N":1024,"Products":1},"config":{"BS":8,"G":1,"R":1}}`},
+		{"invalid config", `{"device":"p100","workload":{"N":1024,"Products":4},"config":{"BS":32,"G":8,"R":1}}`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/measure", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/measure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /measure: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestSweepEndpointRoundTrip(t *testing.T) {
+	ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/sweep", SweepRequest{
+		Device:   "k40c",
+		Workload: gpusim.MatMulWorkload{N: 4096, Products: 2},
+		Seed:     3,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// The reply must be a loadable store.SweepRecord.
+	rec, err := store.Load(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Device != "NVIDIA K40c" || len(rec.Results) == 0 {
+		t.Errorf("record %+v", rec)
+	}
+}
+
+func TestSweepRejectsBadWorkload(t *testing.T) {
+	ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/sweep", SweepRequest{
+		Device:   "p100",
+		Workload: gpusim.MatMulWorkload{N: 0, Products: 1},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestMeasureDeterministicPerSeed(t *testing.T) {
+	ts := newTestServer(t)
+	req := MeasureRequest{
+		Device:   "k40c",
+		Workload: gpusim.MatMulWorkload{N: 4096, Products: 2},
+		Config:   gpusim.MatMulConfig{BS: 32, G: 1, R: 2},
+		Seed:     42,
+	}
+	get := func() MeasureResponse {
+		resp := postJSON(t, ts.URL+"/measure", req)
+		var out MeasureResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := get(), get()
+	if a.MeasuredEnergyJ != b.MeasuredEnergyJ {
+		t.Error("same seed must reproduce the measurement")
+	}
+}

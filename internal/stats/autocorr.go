@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Independence check. The paper's Student-t methodology assumes "the
+// individual observations are independent"; back-to-back runs on a warm
+// machine can violate that (thermal coupling between consecutive runs).
+// Lag-1 autocorrelation with its large-sample significance bound is the
+// standard validity check.
+
+// AutocorrResult reports a lag-k autocorrelation test.
+type AutocorrResult struct {
+	// Lag is the tested lag.
+	Lag int
+	// R is the sample autocorrelation at the lag.
+	R float64
+	// Bound is the approximate 95% significance bound ±1.96/√n.
+	Bound float64
+	// IndependenceRejected is true when |R| exceeds the bound.
+	IndependenceRejected bool
+}
+
+// Autocorrelation computes the lag-k sample autocorrelation of the series
+// and compares it against the large-sample 95% bound.
+func Autocorrelation(xs []float64, lag int) (*AutocorrResult, error) {
+	n := len(xs)
+	if lag < 1 {
+		return nil, errors.New("stats: lag must be >= 1")
+	}
+	if n < lag+2 {
+		return nil, errors.New("stats: series too short for the lag")
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - mean
+		den += d * d
+		if i+lag < n {
+			num += d * (xs[i+lag] - mean)
+		}
+	}
+	if den == 0 {
+		// A constant series carries no dependence signal.
+		return &AutocorrResult{Lag: lag, R: 0, Bound: 1.96 / math.Sqrt(float64(n))}, nil
+	}
+	r := num / den
+	bound := 1.96 / math.Sqrt(float64(n))
+	return &AutocorrResult{
+		Lag: lag, R: r, Bound: bound,
+		IndependenceRejected: math.Abs(r) > bound,
+	}, nil
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAutocorrelationIndependentSeries(t *testing.T) {
+	rejections := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial + 100)))
+		xs := make([]float64, 300)
+		for i := range xs {
+			xs[i] = 100 + rng.NormFloat64()
+		}
+		res, err := Autocorrelation(xs, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.IndependenceRejected {
+			rejections++
+		}
+	}
+	if rejections > 6 {
+		t.Errorf("independent data rejected %d/%d times (expect ~5%%)", rejections, trials)
+	}
+}
+
+func TestAutocorrelationDetectsAR1(t *testing.T) {
+	// x_i = 0.8·x_{i-1} + noise: strongly dependent.
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 400)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 0.8*xs[i-1] + rng.NormFloat64()
+	}
+	res, err := Autocorrelation(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IndependenceRejected {
+		t.Errorf("AR(1) series not flagged: r=%v bound=%v", res.R, res.Bound)
+	}
+	if res.R < 0.6 {
+		t.Errorf("lag-1 r = %v, want ~0.8", res.R)
+	}
+}
+
+func TestAutocorrelationValidation(t *testing.T) {
+	if _, err := Autocorrelation([]float64{1, 2, 3}, 0); err == nil {
+		t.Error("lag 0: want error")
+	}
+	if _, err := Autocorrelation([]float64{1, 2}, 1); err == nil {
+		t.Error("too short: want error")
+	}
+}
+
+func TestAutocorrelationConstantSeries(t *testing.T) {
+	res, err := Autocorrelation([]float64{5, 5, 5, 5, 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IndependenceRejected {
+		t.Error("constant series must not be flagged")
+	}
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ChiSquaredResult reports the outcome of a Pearson chi-squared
+// goodness-of-fit test.
+type ChiSquaredResult struct {
+	// Statistic is the chi-squared statistic Σ (O-E)²/E.
+	Statistic float64
+	// DegreesOfFreedom of the test (bins - 1 - fitted parameters).
+	DegreesOfFreedom int
+	// PValue is the probability of observing a statistic at least this
+	// large under the null hypothesis.
+	PValue float64
+	// Alpha is the significance level the decision was made at.
+	Alpha float64
+	// RejectNull is true when PValue < Alpha (the fit is rejected).
+	RejectNull bool
+	// Bins is the number of bins used.
+	Bins int
+}
+
+// PearsonChiSquared runs a Pearson chi-squared goodness-of-fit test given
+// observed counts and expected counts (same length, expected > 0), with
+// fittedParams the number of distribution parameters estimated from the
+// data (subtracted from the degrees of freedom).
+func PearsonChiSquared(observed, expected []float64, fittedParams int, alpha float64) (*ChiSquaredResult, error) {
+	if len(observed) != len(expected) {
+		return nil, errors.New("stats: observed and expected lengths differ")
+	}
+	if len(observed) < 2 {
+		return nil, errors.New("stats: chi-squared needs at least 2 bins")
+	}
+	dof := len(observed) - 1 - fittedParams
+	if dof < 1 {
+		return nil, errors.New("stats: chi-squared degrees of freedom < 1")
+	}
+	stat := 0.0
+	for i := range observed {
+		if expected[i] <= 0 {
+			return nil, errors.New("stats: expected counts must be positive")
+		}
+		d := observed[i] - expected[i]
+		stat += d * d / expected[i]
+	}
+	cdf, err := ChiSquaredCDF(stat, float64(dof))
+	if err != nil {
+		return nil, err
+	}
+	p := 1 - cdf
+	return &ChiSquaredResult{
+		Statistic:        stat,
+		DegreesOfFreedom: dof,
+		PValue:           p,
+		Alpha:            alpha,
+		RejectNull:       p < alpha,
+		Bins:             len(observed),
+	}, nil
+}
+
+// PearsonNormalityTest tests whether the observations are consistent with a
+// normal distribution whose mean and standard deviation are estimated from
+// the data, following the paper's methodology (the validity check applied
+// to every measured data point). It bins the data into equal-probability
+// bins under the fitted normal; the number of bins scales with sqrt(n).
+func PearsonNormalityTest(xs []float64, alpha float64) (*ChiSquaredResult, error) {
+	n := len(xs)
+	if n < 8 {
+		return nil, errors.New("stats: normality test needs at least 8 observations")
+	}
+	s := NewSample(xs...)
+	mean, sd := s.Mean(), s.StdDev()
+	if sd == 0 {
+		// A constant sample: degenerate but certainly not evidence against
+		// normality for measurement purposes.
+		return &ChiSquaredResult{Statistic: 0, DegreesOfFreedom: 1, PValue: 1, Alpha: alpha, Bins: 2}, nil
+	}
+	bins := int(math.Max(4, math.Floor(math.Sqrt(float64(n)))))
+	// Degrees of freedom must stay >= 1 after subtracting the 2 fitted
+	// parameters (mean, sd).
+	if bins < 4 {
+		bins = 4
+	}
+	// Equal-probability bin edges under N(mean, sd).
+	edges := make([]float64, bins-1)
+	for i := 1; i < bins; i++ {
+		q, err := NormalQuantile(float64(i)/float64(bins), mean, sd)
+		if err != nil {
+			return nil, err
+		}
+		edges[i-1] = q
+	}
+	observed := make([]float64, bins)
+	for _, x := range xs {
+		b := 0
+		for b < len(edges) && x > edges[b] {
+			b++
+		}
+		observed[b]++
+	}
+	expected := make([]float64, bins)
+	for i := range expected {
+		expected[i] = float64(n) / float64(bins)
+	}
+	return PearsonChiSquared(observed, expected, 2, alpha)
+}

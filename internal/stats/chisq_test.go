@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPearsonChiSquaredPerfectFit(t *testing.T) {
+	obs := []float64{10, 20, 30, 40}
+	exp := []float64{10, 20, 30, 40}
+	res, err := PearsonChiSquared(obs, exp, 0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statistic != 0 {
+		t.Errorf("Statistic = %v, want 0", res.Statistic)
+	}
+	if res.RejectNull {
+		t.Error("perfect fit must not be rejected")
+	}
+	if res.DegreesOfFreedom != 3 {
+		t.Errorf("dof = %d, want 3", res.DegreesOfFreedom)
+	}
+}
+
+func TestPearsonChiSquaredGrossMisfit(t *testing.T) {
+	obs := []float64{100, 0, 0, 0}
+	exp := []float64{25, 25, 25, 25}
+	res, err := PearsonChiSquared(obs, exp, 0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RejectNull {
+		t.Errorf("gross misfit should be rejected, p=%v", res.PValue)
+	}
+}
+
+func TestPearsonChiSquaredErrors(t *testing.T) {
+	if _, err := PearsonChiSquared([]float64{1}, []float64{1}, 0, 0.05); err == nil {
+		t.Error("single bin: want error")
+	}
+	if _, err := PearsonChiSquared([]float64{1, 2}, []float64{1}, 0, 0.05); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := PearsonChiSquared([]float64{1, 2}, []float64{1, 0}, 0, 0.05); err == nil {
+		t.Error("zero expected: want error")
+	}
+	if _, err := PearsonChiSquared([]float64{1, 2}, []float64{1, 2}, 1, 0.05); err == nil {
+		t.Error("dof < 1: want error")
+	}
+}
+
+func TestNormalityTestAcceptsNormalData(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	rejections := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 200)
+		for i := range xs {
+			xs[i] = 5 + rng.NormFloat64()*2
+		}
+		res, err := PearsonNormalityTest(xs, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RejectNull {
+			rejections++
+		}
+	}
+	// At alpha = 0.05 we expect about 1 rejection in 20 trials; more than 5
+	// would indicate a broken test statistic.
+	if rejections > 5 {
+		t.Errorf("normal data rejected %d/%d times", rejections, trials)
+	}
+}
+
+func TestNormalityTestRejectsBimodalData(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 400)
+	for i := range xs {
+		if i%2 == 0 {
+			xs[i] = -10 + rng.NormFloat64()*0.3
+		} else {
+			xs[i] = 10 + rng.NormFloat64()*0.3
+		}
+	}
+	res, err := PearsonNormalityTest(xs, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RejectNull {
+		t.Errorf("bimodal data not rejected, p=%v", res.PValue)
+	}
+}
+
+func TestNormalityTestConstantData(t *testing.T) {
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = 7
+	}
+	res, err := PearsonNormalityTest(xs, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RejectNull {
+		t.Error("constant data should not be rejected")
+	}
+}
+
+func TestNormalityTestTooFewObservations(t *testing.T) {
+	if _, err := PearsonNormalityTest([]float64{1, 2, 3}, 0.05); err == nil {
+		t.Error("want error for tiny sample")
+	}
+}

@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzGammaP checks the incomplete gamma function stays a CDF: no panic,
+// and results in [0, 1] for every accepted input.
+func FuzzGammaP(f *testing.F) {
+	f.Add(1.0, 1.0)
+	f.Add(0.5, 100.0)
+	f.Add(50.0, 0.001)
+	f.Fuzz(func(t *testing.T, a, x float64) {
+		p, err := GammaP(a, x)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(p) || p < -1e-12 || p > 1+1e-12 {
+			t.Fatalf("GammaP(%v,%v) = %v out of [0,1]", a, x, p)
+		}
+	})
+}
+
+// FuzzBetaInc checks the regularized incomplete beta function likewise.
+func FuzzBetaInc(f *testing.F) {
+	f.Add(1.0, 1.0, 0.5)
+	f.Add(0.5, 0.5, 0.999)
+	f.Add(30.0, 0.5, 0.01)
+	f.Fuzz(func(t *testing.T, a, b, x float64) {
+		v, err := BetaInc(a, b, x)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(v) || v < -1e-12 || v > 1+1e-12 {
+			t.Fatalf("BetaInc(%v,%v,%v) = %v out of [0,1]", a, b, x, v)
+		}
+	})
+}
+
+// FuzzStudentTQuantile checks the quantile solver against its CDF.
+func FuzzStudentTQuantile(f *testing.F) {
+	f.Add(0.95, 3.0)
+	f.Add(0.5, 120.0)
+	f.Fuzz(func(t *testing.T, conf, nu float64) {
+		q, err := StudentTQuantile(conf, nu)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(q) || q < 0 {
+			t.Fatalf("t*(%v, %v) = %v", conf, nu, q)
+		}
+		cdf, err := StudentTCDF(q, nu)
+		if err != nil {
+			return
+		}
+		want := 0.5 + conf/2
+		if math.Abs(cdf-want) > 1e-6 && q < 1e9 {
+			t.Fatalf("round trip: CDF(%v) = %v, want %v", q, cdf, want)
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MeasureSpec configures the confidence-driven measurement loop described
+// in the paper: "the application is run repeatedly until the sample mean
+// lies in the 95% confidence interval and a precision of 0.025 (2.5%) is
+// achieved", using Student's t-test and validating the normality assumption
+// with Pearson's chi-squared test.
+type MeasureSpec struct {
+	// Confidence is the confidence level, e.g. 0.95.
+	Confidence float64
+	// Precision is the relative half-width target, e.g. 0.025.
+	Precision float64
+	// MinRuns is the minimum number of observations before convergence is
+	// considered (at least 2; the paper's tooling uses a handful).
+	MinRuns int
+	// MaxRuns bounds the loop so a pathologically noisy observable cannot
+	// spin forever. When exceeded, Measure returns the sample collected so
+	// far together with ErrNoConvergence.
+	MaxRuns int
+	// CheckNormality, when set, runs a Pearson chi-squared goodness-of-fit
+	// test against a normal distribution once converged and records the
+	// outcome in the result (it never fails the measurement: the paper uses
+	// it as a post-hoc validity check).
+	CheckNormality bool
+	// NormalityAlpha is the significance level of the chi-squared test
+	// (default 0.05).
+	NormalityAlpha float64
+	// RejectOutliersK, when positive, applies MAD-based outlier rejection
+	// (observations beyond K MADs of the median are dropped) before the
+	// convergence check — the in-band version of the paper's "several
+	// precautions against disturbance" when spikes cannot be prevented at
+	// the source. K = 3 is customary.
+	RejectOutliersK float64
+}
+
+// DefaultMeasureSpec returns the paper's settings: 95% confidence, 2.5%
+// precision, between 3 and 1000 runs, with the normality check enabled.
+func DefaultMeasureSpec() MeasureSpec {
+	return MeasureSpec{
+		Confidence:     0.95,
+		Precision:      0.025,
+		MinRuns:        3,
+		MaxRuns:        1000,
+		CheckNormality: true,
+		NormalityAlpha: 0.05,
+	}
+}
+
+// ErrNoConvergence is wrapped into the error returned by Measure when
+// MaxRuns observations did not reach the precision target.
+var ErrNoConvergence = errors.New("stats: sample mean did not converge to precision target")
+
+// Measurement is the outcome of a confidence-driven measurement.
+type Measurement struct {
+	// Sample holds the observations the converged mean was computed from
+	// (after outlier rejection when enabled).
+	Sample *Sample
+	// Rejected counts observations dropped by outlier rejection.
+	Rejected int
+	// Mean is the converged sample mean.
+	Mean float64
+	// HalfWidth is the confidence-interval half-width at convergence.
+	HalfWidth float64
+	// Runs is the number of observations taken.
+	Runs int
+	// Normality is the chi-squared normality check outcome, if requested
+	// and enough observations were available; nil otherwise.
+	Normality *ChiSquaredResult
+}
+
+// Measure repeatedly invokes observe and accumulates its results until the
+// sample mean satisfies the spec's confidence/precision target. observe may
+// return an error to abort the measurement.
+func Measure(spec MeasureSpec, observe func() (float64, error)) (*Measurement, error) {
+	if err := validateSpec(&spec); err != nil {
+		return nil, err
+	}
+	raw := &Sample{}
+	// effective returns the sample the convergence check (and the final
+	// summary) should see, plus the rejection count.
+	effective := func() (*Sample, int) {
+		if spec.RejectOutliersK <= 0 || raw.N() < 5 {
+			return raw, 0
+		}
+		kept, rejected, err := RejectOutliers(raw.Values(), spec.RejectOutliersK)
+		if err != nil || rejected == 0 {
+			return raw, 0
+		}
+		return NewSample(kept...), rejected
+	}
+	for run := 0; run < spec.MaxRuns; run++ {
+		x, err := observe()
+		if err != nil {
+			return nil, fmt.Errorf("stats: observation %d failed: %w", run+1, err)
+		}
+		raw.Add(x)
+		s, rejected := effective()
+		if s.N() >= spec.MinRuns && s.WithinPrecision(spec.Confidence, spec.Precision) {
+			return finishMeasurement(spec, s, rejected)
+		}
+	}
+	s, rejected := effective()
+	m, _ := finishMeasurement(spec, s, rejected)
+	return m, fmt.Errorf("stats: %d runs: %w", raw.N(), ErrNoConvergence)
+}
+
+func validateSpec(spec *MeasureSpec) error {
+	if spec.Confidence <= 0 || spec.Confidence >= 1 {
+		return errors.New("stats: MeasureSpec.Confidence must be in (0,1)")
+	}
+	if spec.Precision <= 0 {
+		return errors.New("stats: MeasureSpec.Precision must be positive")
+	}
+	if spec.MinRuns < 2 {
+		spec.MinRuns = 2
+	}
+	if spec.MaxRuns < spec.MinRuns {
+		return errors.New("stats: MeasureSpec.MaxRuns must be >= MinRuns")
+	}
+	if spec.NormalityAlpha <= 0 || spec.NormalityAlpha >= 1 {
+		spec.NormalityAlpha = 0.05
+	}
+	return nil
+}
+
+func finishMeasurement(spec MeasureSpec, s *Sample, rejected int) (*Measurement, error) {
+	hw, err := s.ConfidenceHalfWidth(spec.Confidence)
+	if err != nil {
+		hw = 0
+	}
+	m := &Measurement{
+		Sample:    s,
+		Rejected:  rejected,
+		Mean:      s.Mean(),
+		HalfWidth: hw,
+		Runs:      s.N() + rejected,
+	}
+	if spec.CheckNormality {
+		if res, err := PearsonNormalityTest(s.Values(), spec.NormalityAlpha); err == nil {
+			m.Normality = res
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestMeasureConvergesOnLowNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	spec := DefaultMeasureSpec()
+	m, err := Measure(spec, func() (float64, error) {
+		return 100 + rng.NormFloat64()*0.5, nil
+	})
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	if m.Mean < 98 || m.Mean > 102 {
+		t.Errorf("Mean = %v, want ~100", m.Mean)
+	}
+	if m.Runs < spec.MinRuns {
+		t.Errorf("Runs = %d, want >= %d", m.Runs, spec.MinRuns)
+	}
+	if m.HalfWidth > 0.025*m.Mean {
+		t.Errorf("half-width %v exceeds precision target", m.HalfWidth)
+	}
+}
+
+func TestMeasureTakesMoreRunsWhenNoisy(t *testing.T) {
+	rngLo := rand.New(rand.NewSource(7))
+	rngHi := rand.New(rand.NewSource(7))
+	spec := DefaultMeasureSpec()
+	spec.CheckNormality = false
+	lo, err := Measure(spec, func() (float64, error) { return 100 + rngLo.NormFloat64()*0.1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Measure(spec, func() (float64, error) { return 100 + rngHi.NormFloat64()*5, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Runs < lo.Runs {
+		t.Errorf("noisy observable took %d runs, quiet took %d; want noisy >= quiet", hi.Runs, lo.Runs)
+	}
+}
+
+func TestMeasureNoConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	spec := DefaultMeasureSpec()
+	spec.MaxRuns = 5
+	spec.CheckNormality = false
+	// Relative noise far beyond 2.5% precision at only 5 runs.
+	m, err := Measure(spec, func() (float64, error) {
+		return 10 + rng.NormFloat64()*8, nil
+	})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence", err)
+	}
+	if m == nil || m.Runs != 5 {
+		t.Errorf("partial measurement should still be returned with 5 runs, got %+v", m)
+	}
+}
+
+func TestMeasureObservationError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Measure(DefaultMeasureSpec(), func() (float64, error) { return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestMeasureSpecValidation(t *testing.T) {
+	bad := MeasureSpec{Confidence: 0, Precision: 0.025, MinRuns: 3, MaxRuns: 10}
+	if _, err := Measure(bad, func() (float64, error) { return 1, nil }); err == nil {
+		t.Error("zero confidence: want error")
+	}
+	bad = MeasureSpec{Confidence: 0.95, Precision: 0, MinRuns: 3, MaxRuns: 10}
+	if _, err := Measure(bad, func() (float64, error) { return 1, nil }); err == nil {
+		t.Error("zero precision: want error")
+	}
+	bad = MeasureSpec{Confidence: 0.95, Precision: 0.025, MinRuns: 30, MaxRuns: 10}
+	if _, err := Measure(bad, func() (float64, error) { return 1, nil }); err == nil {
+		t.Error("MaxRuns < MinRuns: want error")
+	}
+}
+
+func TestMeasureConstantObservable(t *testing.T) {
+	spec := DefaultMeasureSpec()
+	spec.CheckNormality = false
+	m, err := Measure(spec, func() (float64, error) { return 42, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mean != 42 {
+		t.Errorf("Mean = %v, want 42", m.Mean)
+	}
+	if m.Runs != spec.MinRuns {
+		t.Errorf("constant observable should converge at MinRuns=%d, got %d", spec.MinRuns, m.Runs)
+	}
+}
+
+func TestMeasureRobustRejectsSpikes(t *testing.T) {
+	// Every 6th observation is a 1.4x spike. With rejection enabled the
+	// mean converges to the clean value; without it the spikes drag the
+	// mean up (and noise makes convergence harder).
+	makeObserve := func(seed int64) func() (float64, error) {
+		rng := rand.New(rand.NewSource(seed))
+		i := 0
+		return func() (float64, error) {
+			i++
+			x := 100 + rng.NormFloat64()*0.5
+			if i%6 == 0 {
+				x *= 1.4
+			}
+			return x, nil
+		}
+	}
+	spec := DefaultMeasureSpec()
+	spec.CheckNormality = false
+	spec.MinRuns = 12
+	spec.RejectOutliersK = 3
+	robust, err := Measure(spec, makeObserve(3))
+	if err != nil {
+		t.Fatalf("robust measurement did not converge: %v", err)
+	}
+	if robust.Rejected == 0 {
+		t.Error("expected rejected spike observations")
+	}
+	if robust.Mean < 99 || robust.Mean > 101 {
+		t.Errorf("robust mean %v, want ~100", robust.Mean)
+	}
+	plain := spec
+	plain.RejectOutliersK = 0
+	plain.MaxRuns = 60
+	naive, _ := Measure(plain, makeObserve(3))
+	if naive != nil && naive.Mean < robust.Mean {
+		t.Errorf("naive mean %v should be inflated above robust %v", naive.Mean, robust.Mean)
+	}
+}
+
+func TestMeasureNormalityRecorded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	spec := DefaultMeasureSpec()
+	spec.MinRuns = 20 // enough observations for the chi-squared test
+	m, err := Measure(spec, func() (float64, error) {
+		return 50 + rng.NormFloat64()*0.4, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Normality == nil {
+		t.Fatal("normality result should be recorded")
+	}
+	if m.Normality.RejectNull {
+		t.Errorf("normal data rejected as non-normal: p=%v", m.Normality.PValue)
+	}
+}

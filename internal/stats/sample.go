@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Sample accumulates scalar observations and answers the summary questions
+// the measurement methodology asks: mean, variance, confidence half-width.
+// The zero value is an empty sample ready to use.
+type Sample struct {
+	xs []float64
+}
+
+// NewSample returns a sample pre-loaded with the given observations.
+// The slice is copied.
+func NewSample(xs ...float64) *Sample {
+	s := &Sample{xs: make([]float64, len(xs))}
+	copy(s.xs, xs)
+	return s
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Values returns a copy of the observations in insertion order.
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance, or 0 when fewer than
+// two observations are present.
+func (s *Sample) Variance() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Sample) StdErr() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(len(s.xs)))
+}
+
+// Min returns the smallest observation; it panics on an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		panic("stats: Min of empty sample")
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation; it panics on an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		panic("stats: Max of empty sample")
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// CV returns the coefficient of variation (stddev / |mean|), the statistic
+// the weak-EP analyzer uses to judge whether dynamic energy is "a constant"
+// across configurations. It returns +Inf when the mean is zero.
+func (s *Sample) CV() float64 {
+	m := s.Mean()
+	if m == 0 {
+		return math.Inf(1)
+	}
+	return s.StdDev() / math.Abs(m)
+}
+
+// Median returns the median observation, or 0 for an empty sample.
+func (s *Sample) Median() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := s.Values()
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// ConfidenceHalfWidth returns the half-width of the two-sided Student-t
+// confidence interval for the mean at the given confidence level
+// (e.g. 0.95). It requires at least two observations.
+func (s *Sample) ConfidenceHalfWidth(confidence float64) (float64, error) {
+	n := len(s.xs)
+	if n < 2 {
+		return 0, errors.New("stats: confidence interval requires at least 2 observations")
+	}
+	t, err := StudentTQuantile(confidence, float64(n-1))
+	if err != nil {
+		return 0, err
+	}
+	return t * s.StdErr(), nil
+}
+
+// WithinPrecision reports whether the sample mean has converged: the
+// half-width of the confidence interval at the given level is at most
+// precision × |mean| (the paper uses confidence 0.95, precision 0.025).
+// A sample with fewer than two observations has not converged.
+func (s *Sample) WithinPrecision(confidence, precision float64) bool {
+	if len(s.xs) < 2 {
+		return false
+	}
+	hw, err := s.ConfidenceHalfWidth(confidence)
+	if err != nil {
+		return false
+	}
+	m := math.Abs(s.Mean())
+	if m == 0 {
+		return hw == 0
+	}
+	return hw <= precision*m
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// WelchResult is the outcome of Welch's unequal-variance t-test comparing
+// two samples' means — the right tool for deciding whether one application
+// configuration's measured dynamic energy genuinely differs from
+// another's, since repeated-measurement variances differ across
+// configurations.
+type WelchResult struct {
+	// Statistic is the t statistic (meanA − meanB over the pooled
+	// standard error).
+	Statistic float64
+	// DegreesOfFreedom is the Welch–Satterthwaite approximation.
+	DegreesOfFreedom float64
+	// PValue is the two-sided p-value.
+	PValue float64
+	// Alpha is the significance level used for the decision.
+	Alpha float64
+	// Significant is true when PValue < Alpha.
+	Significant bool
+	// MeanDiff is meanA − meanB.
+	MeanDiff float64
+}
+
+// WelchTTest compares the means of two samples at significance level
+// alpha. Both samples need at least two observations and at least one
+// must have positive variance.
+func WelchTTest(a, b *Sample, alpha float64) (*WelchResult, error) {
+	if a == nil || b == nil {
+		return nil, errors.New("stats: nil sample")
+	}
+	if a.N() < 2 || b.N() < 2 {
+		return nil, errors.New("stats: Welch test needs >= 2 observations per sample")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return nil, errors.New("stats: alpha must be in (0,1)")
+	}
+	va, vb := a.Variance(), b.Variance()
+	na, nb := float64(a.N()), float64(b.N())
+	sa, sb := va/na, vb/nb
+	se2 := sa + sb
+	diff := a.Mean() - b.Mean()
+	if se2 == 0 {
+		// Identical constants are indistinguishable; different constants
+		// are trivially distinct.
+		res := &WelchResult{MeanDiff: diff, Alpha: alpha}
+		if diff != 0 {
+			res.Significant = true
+			res.PValue = 0
+		} else {
+			res.PValue = 1
+		}
+		return res, nil
+	}
+	t := diff / math.Sqrt(se2)
+	// Welch–Satterthwaite degrees of freedom.
+	dof := se2 * se2 / (sa*sa/(na-1) + sb*sb/(nb-1))
+	cdf, err := StudentTCDF(math.Abs(t), dof)
+	if err != nil {
+		return nil, err
+	}
+	p := 2 * (1 - cdf)
+	if p < 0 {
+		p = 0
+	}
+	return &WelchResult{
+		Statistic:        t,
+		DegreesOfFreedom: dof,
+		PValue:           p,
+		Alpha:            alpha,
+		Significant:      p < alpha,
+		MeanDiff:         diff,
+	}, nil
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWelchDetectsDifferentMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, b := &Sample{}, &Sample{}
+	for i := 0; i < 30; i++ {
+		a.Add(100 + rng.NormFloat64())
+		b.Add(105 + rng.NormFloat64()*2)
+	}
+	res, err := WelchTTest(a, b, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant {
+		t.Errorf("5-sigma separation not detected: p=%v", res.PValue)
+	}
+	if res.MeanDiff >= 0 {
+		t.Error("meanA < meanB: diff should be negative")
+	}
+}
+
+func TestWelchAcceptsEqualMeans(t *testing.T) {
+	rejections := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial + 10)))
+		a, b := &Sample{}, &Sample{}
+		for i := 0; i < 25; i++ {
+			a.Add(50 + rng.NormFloat64()*3)
+			b.Add(50 + rng.NormFloat64()*5)
+		}
+		res, err := WelchTTest(a, b, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Significant {
+			rejections++
+		}
+	}
+	// Expect ~5% false positives; more than 20% means a broken statistic.
+	if rejections > 8 {
+		t.Errorf("equal means rejected %d/%d times", rejections, trials)
+	}
+}
+
+func TestWelchKnownValue(t *testing.T) {
+	// Classic textbook-style check: two small samples with a clear gap.
+	a := NewSample(27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4)
+	b := NewSample(27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5, 25.2)
+	res, err := WelchTTest(a, b, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-checked: meanA ≈ 20.82, meanB ≈ 23.71, Welch's t ≈ -2.89 with
+	// ~28 Welch–Satterthwaite dof.
+	if res.Statistic > -2.7 || res.Statistic < -3.1 {
+		t.Errorf("t = %v, want ~-2.89", res.Statistic)
+	}
+	if res.DegreesOfFreedom < 25 || res.DegreesOfFreedom > 30 {
+		t.Errorf("dof = %v, want ~28", res.DegreesOfFreedom)
+	}
+	if res.MeanDiff > -2.8 || res.MeanDiff < -3.0 {
+		t.Errorf("mean diff = %v, want ~-2.89", res.MeanDiff)
+	}
+	if !res.Significant {
+		t.Errorf("p = %v, want < 0.05", res.PValue)
+	}
+}
+
+func TestWelchValidation(t *testing.T) {
+	good := NewSample(1, 2, 3)
+	if _, err := WelchTTest(nil, good, 0.05); err == nil {
+		t.Error("nil sample: want error")
+	}
+	if _, err := WelchTTest(NewSample(1), good, 0.05); err == nil {
+		t.Error("singleton: want error")
+	}
+	if _, err := WelchTTest(good, good, 0); err == nil {
+		t.Error("alpha=0: want error")
+	}
+}
+
+func TestWelchConstantSamples(t *testing.T) {
+	a := NewSample(5, 5, 5)
+	b := NewSample(5, 5, 5)
+	res, err := WelchTTest(a, b, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant {
+		t.Error("identical constants must not differ")
+	}
+	c := NewSample(6, 6, 6)
+	res, err = WelchTTest(a, c, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant {
+		t.Error("distinct constants must differ")
+	}
+}

@@ -1,0 +1,127 @@
+// Package store persists sweep results as JSON so measurement campaigns
+// can be captured once and re-analyzed (fronts, trade-offs, models)
+// without re-running the simulators — mirroring how the paper's tooling
+// separates the expensive measurement step from the analysis step.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"energyprop/internal/gpusim"
+	"energyprop/internal/pareto"
+)
+
+// FormatVersion identifies the on-disk schema.
+const FormatVersion = 1
+
+// ConfigRecord is one configuration's persisted outcome.
+type ConfigRecord struct {
+	BS                int     `json:"bs"`
+	G                 int     `json:"g"`
+	R                 int     `json:"r"`
+	Seconds           float64 `json:"seconds"`
+	DynPowerW         float64 `json:"dyn_power_w"`
+	DynEnergyJ        float64 `json:"dyn_energy_j"`
+	GFLOPs            float64 `json:"gflops"`
+	FetchEngineActive bool    `json:"fetch_engine_active"`
+}
+
+// Label renders the configuration the way the paper writes it.
+func (c ConfigRecord) Label() string {
+	return gpusim.MatMulConfig{BS: c.BS, G: c.G, R: c.R}.String()
+}
+
+// SweepRecord is one full (BS, G, R) sweep of a workload on a device.
+type SweepRecord struct {
+	Version  int                   `json:"version"`
+	Device   string                `json:"device"`
+	Workload gpusim.MatMulWorkload `json:"workload"`
+	Results  []ConfigRecord        `json:"results"`
+}
+
+// FromResults captures a sweep.
+func FromResults(device string, w gpusim.MatMulWorkload, results []*gpusim.Result) (*SweepRecord, error) {
+	if device == "" {
+		return nil, errors.New("store: empty device name")
+	}
+	if len(results) == 0 {
+		return nil, errors.New("store: no results")
+	}
+	rec := &SweepRecord{Version: FormatVersion, Device: device, Workload: w}
+	for _, r := range results {
+		rec.Results = append(rec.Results, ConfigRecord{
+			BS: r.Config.BS, G: r.Config.G, R: r.Config.R,
+			Seconds: r.Seconds, DynPowerW: r.DynPowerW, DynEnergyJ: r.DynEnergyJ,
+			GFLOPs: r.GFLOPs, FetchEngineActive: r.FetchEngineActive,
+		})
+	}
+	return rec, nil
+}
+
+// Points converts the record's results to pareto points.
+func (s *SweepRecord) Points() []pareto.Point {
+	out := make([]pareto.Point, len(s.Results))
+	for i, r := range s.Results {
+		out[i] = pareto.Point{Label: r.Label(), Time: r.Seconds, Energy: r.DynEnergyJ}
+	}
+	return out
+}
+
+// Validate checks structural integrity after loading.
+func (s *SweepRecord) Validate() error {
+	if s.Version != FormatVersion {
+		return fmt.Errorf("store: unsupported format version %d (want %d)", s.Version, FormatVersion)
+	}
+	if s.Device == "" {
+		return errors.New("store: empty device name")
+	}
+	if err := s.Workload.Validate(); err != nil {
+		return fmt.Errorf("store: bad workload: %w", err)
+	}
+	if len(s.Results) == 0 {
+		return errors.New("store: no results")
+	}
+	for i, r := range s.Results {
+		if r.BS < 1 || r.G < 1 || r.R < 1 {
+			return fmt.Errorf("store: result %d has invalid config (BS=%d G=%d R=%d)", i, r.BS, r.G, r.R)
+		}
+		if r.G*r.R != s.Workload.Products {
+			return fmt.Errorf("store: result %d solves %d products, workload needs %d",
+				i, r.G*r.R, s.Workload.Products)
+		}
+		if r.Seconds <= 0 || r.DynEnergyJ <= 0 {
+			return fmt.Errorf("store: result %d has non-positive measurements", i)
+		}
+	}
+	return nil
+}
+
+// Save writes the record as indented JSON.
+func Save(w io.Writer, rec *SweepRecord) error {
+	if rec == nil {
+		return errors.New("store: nil record")
+	}
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}
+
+// Load reads and validates a record.
+func Load(r io.Reader) (*SweepRecord, error) {
+	var rec SweepRecord
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		return nil, fmt.Errorf("store: decoding: %w", err)
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}

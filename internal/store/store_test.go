@@ -1,0 +1,101 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"energyprop/internal/gpusim"
+	"energyprop/internal/pareto"
+)
+
+func sweep(t *testing.T) (*gpusim.Device, gpusim.MatMulWorkload, []*gpusim.Result) {
+	t.Helper()
+	d := gpusim.NewP100()
+	w := gpusim.MatMulWorkload{N: 8192, Products: 8}
+	results, err := d.Sweep(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, w, results
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d, w, results := sweep(t)
+	rec, err := FromResults(d.Spec.Name, w, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Device != d.Spec.Name || loaded.Workload != w {
+		t.Error("metadata round trip broken")
+	}
+	if len(loaded.Results) != len(results) {
+		t.Fatalf("result count %d != %d", len(loaded.Results), len(results))
+	}
+	for i, r := range loaded.Results {
+		if r.Seconds != results[i].Seconds || r.DynEnergyJ != results[i].DynEnergyJ {
+			t.Fatalf("result %d differs after round trip", i)
+		}
+	}
+	// Front analysis on the loaded record must match live analysis.
+	liveFront := pareto.Front(func() []pareto.Point {
+		var pts []pareto.Point
+		for _, r := range results {
+			pts = append(pts, pareto.Point{Label: r.Config.String(), Time: r.Seconds, Energy: r.DynEnergyJ})
+		}
+		return pts
+	}())
+	loadedFront := pareto.Front(loaded.Points())
+	if len(liveFront) != len(loadedFront) {
+		t.Errorf("fronts differ: live %d, loaded %d", len(liveFront), len(loadedFront))
+	}
+}
+
+func TestFromResultsValidation(t *testing.T) {
+	_, w, results := sweep(t)
+	if _, err := FromResults("", w, results); err == nil {
+		t.Error("empty device: want error")
+	}
+	if _, err := FromResults("dev", w, nil); err == nil {
+		t.Error("no results: want error")
+	}
+}
+
+func TestLoadRejectsBadDocuments(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        "{not json",
+		"unknown fields": `{"version":1,"device":"d","bogus":1}`,
+		"bad version":    `{"version":99,"device":"d","workload":{"N":8,"Products":1},"results":[{"bs":1,"g":1,"r":1,"seconds":1,"dyn_energy_j":1}]}`,
+		"no results":     `{"version":1,"device":"d","workload":{"N":8,"Products":1},"results":[]}`,
+		"bad config":     `{"version":1,"device":"d","workload":{"N":8,"Products":1},"results":[{"bs":0,"g":1,"r":1,"seconds":1,"dyn_energy_j":1}]}`,
+		"wrong products": `{"version":1,"device":"d","workload":{"N":8,"Products":4},"results":[{"bs":1,"g":1,"r":1,"seconds":1,"dyn_energy_j":1}]}`,
+		"bad numbers":    `{"version":1,"device":"d","workload":{"N":8,"Products":1},"results":[{"bs":1,"g":1,"r":1,"seconds":0,"dyn_energy_j":1}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestSaveNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, nil); err == nil {
+		t.Error("nil record: want error")
+	}
+}
+
+func TestConfigRecordLabel(t *testing.T) {
+	c := ConfigRecord{BS: 24, G: 2, R: 4}
+	if c.Label() != "(BS=24, G=2, R=4)" {
+		t.Errorf("label %q", c.Label())
+	}
+}

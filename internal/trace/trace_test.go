@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"energyprop/internal/gpusim"
+	"energyprop/internal/meter"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]float64{1}, []float64{1}); err == nil {
+		t.Error("single sample: want error")
+	}
+	if _, err := New([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := New([]float64{2, 1}, []float64{1, 1}); err == nil {
+		t.Error("backwards time: want error")
+	}
+	if _, err := New([]float64{1, 2}, []float64{1, math.NaN()}); err == nil {
+		t.Error("NaN power: want error")
+	}
+}
+
+func TestEnergyTrapezoid(t *testing.T) {
+	tr, err := New([]float64{0, 1, 2}, []float64{100, 100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1s at 100 + 1s averaging 150 = 250 J.
+	if got := tr.Energy(); math.Abs(got-250) > 1e-12 {
+		t.Errorf("energy = %v, want 250", got)
+	}
+	if got := tr.Duration(); got != 2 {
+		t.Errorf("duration = %v, want 2", got)
+	}
+}
+
+func TestSteadyPowerRobust(t *testing.T) {
+	// Ramp up, steady at 200, tail down: the middle-half median must be
+	// 200 even with a spike.
+	ts := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	ps := []float64{20, 120, 200, 200, 320, 200, 200, 200, 90, 10}
+	tr, err := New(ts, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.SteadyPower(); got != 200 {
+		t.Errorf("steady power = %v, want 200", got)
+	}
+}
+
+func TestPhasesDecomposition(t *testing.T) {
+	ts := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	ps := []float64{10, 100, 195, 200, 200, 200, 200, 195, 80, 5}
+	tr, err := New(ts, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases, err := tr.Phases(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 3 {
+		t.Fatalf("%d phases, want 3: %+v", len(phases), phases)
+	}
+	if phases[0].Kind != "ramp" || phases[1].Kind != "steady" || phases[2].Kind != "tail" {
+		t.Errorf("kinds %v", phases)
+	}
+	total := 0.0
+	for _, p := range phases {
+		if p.EndS <= p.StartS {
+			t.Errorf("phase %s has no width", p.Kind)
+		}
+		total += p.EnergyJ
+	}
+	if math.Abs(total-tr.Energy()) > 1e-9 {
+		t.Errorf("phase energies %v do not sum to total %v", total, tr.Energy())
+	}
+	if phases[1].EnergyJ < phases[0].EnergyJ || phases[1].EnergyJ < phases[2].EnergyJ {
+		t.Error("steady phase should dominate the energy")
+	}
+}
+
+func TestPhasesValidation(t *testing.T) {
+	tr, _ := New([]float64{0, 1}, []float64{1, 1})
+	if _, err := tr.Phases(0); err == nil {
+		t.Error("threshold 0: want error")
+	}
+	if _, err := tr.Phases(1); err == nil {
+		t.Error("threshold 1: want error")
+	}
+}
+
+func TestPhasesFlatTrace(t *testing.T) {
+	tr, err := New([]float64{0, 1, 2}, []float64{100, 100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases, err := tr.Phases(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A flat trace is all steady: it may be reported as ramp-less and
+	// tail-less (a single steady phase) or with empty edges skipped.
+	if len(phases) == 0 {
+		t.Fatal("no phases")
+	}
+	kinds := map[string]bool{}
+	for _, p := range phases {
+		kinds[p.Kind] = true
+	}
+	if !kinds["steady"] {
+		t.Error("flat trace must contain a steady phase")
+	}
+}
+
+func TestFromStepsAndSchedulerIntegration(t *testing.T) {
+	// Feed a real scheduler trace through the analyzer: energy must match
+	// the scheduler's own integral, and the decomposition must be
+	// ramp/steady/tail with steady power near the analytic power.
+	d := gpusim.NewP100()
+	res, err := d.RunMatMulTraced(
+		gpusim.MatMulWorkload{N: 8192, Products: 8},
+		gpusim.MatMulConfig{BS: 24, G: 1, R: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := make([]float64, len(res.Trace))
+	power := make([]float64, len(res.Trace))
+	for i, tp := range res.Trace {
+		starts[i] = tp.Seconds
+		power[i] = tp.PowerW
+	}
+	tr, err := FromSteps(starts, power, res.TraceSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := tr.Energy() / res.TraceEnergyJ; rel < 0.999 || rel > 1.001 {
+		t.Errorf("analyzer energy %v vs scheduler %v", tr.Energy(), res.TraceEnergyJ)
+	}
+	steady := tr.SteadyPower()
+	if math.Abs(steady-res.DynPowerW) > 0.05*res.DynPowerW {
+		t.Errorf("steady power %v vs analytic %v", steady, res.DynPowerW)
+	}
+	phases, err := tr.Phases(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundSteady := false
+	for _, p := range phases {
+		if p.Kind == "steady" {
+			foundSteady = true
+			if p.EnergyJ < 0.8*res.TraceEnergyJ {
+				t.Error("steady phase should carry most of the energy")
+			}
+		}
+	}
+	if !foundSteady {
+		t.Error("no steady phase detected")
+	}
+}
+
+func TestMeterTraceRoundTrip(t *testing.T) {
+	// A metered traced run with RecordTrace feeds straight into the
+	// analyzer, closing the loop: scheduler -> meter samples -> phase
+	// decomposition.
+	d := gpusim.NewP100()
+	res, err := d.RunMatMulTraced(
+		gpusim.MatMulWorkload{N: 8192, Products: 8},
+		gpusim.MatMulConfig{BS: 16, G: 1, R: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := meter.NewMeter(d.Spec.IdlePowerW, 1)
+	m.NoiseFrac = 0
+	m.RecordTrace = true
+	m.SampleInterval = res.TraceSeconds / 500
+	rep, err := m.MeasureRun(res.Run(d.Spec.IdlePowerW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SampleTimes) == 0 {
+		t.Fatal("RecordTrace produced no samples")
+	}
+	tr, err := New(rep.SampleTimes, rep.SamplePowers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The analyzer's steady power (total node) minus idle must match the
+	// scheduler's analytic dynamic power.
+	steadyDyn := tr.SteadyPower() - d.Spec.IdlePowerW
+	if math.Abs(steadyDyn-res.DynPowerW) > 0.05*res.DynPowerW {
+		t.Errorf("metered steady dynamic power %.1f vs analytic %.1f", steadyDyn, res.DynPowerW)
+	}
+}
+
+func TestFromStepsValidation(t *testing.T) {
+	if _, err := FromSteps(nil, nil, 1); err == nil {
+		t.Error("empty: want error")
+	}
+	if _, err := FromSteps([]float64{0, 1}, []float64{1}, 2); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := FromSteps([]float64{0, 5}, []float64{1, 1}, 2); err == nil {
+		t.Error("end before step start: want error")
+	}
+}
