@@ -35,13 +35,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quick := fs.Bool("quick", false, "shrink sweeps for a fast run")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
 	seed := fs.Int64("seed", 1, "seed for the measurement noise")
+	workers := fs.Int("workers", 0, "parallel campaign workers (0 = one per CPU); any value yields identical results")
 	svgDir := fs.String("svgdir", "", "also render the paper's figures as SVGs into this directory")
 	markdown := fs.String("markdown", "", "write a full markdown report to this file ('-' for stdout)")
 	html := fs.String("html", "", "write a self-contained HTML report (tables + inline figures) to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	opt := experiment.Options{Seed: *seed, Quick: *quick}
+	opt := experiment.Options{Seed: *seed, Quick: *quick, Workers: *workers}
 	var ids []string
 	if *runID != "" && *runID != "all" {
 		ids = []string{*runID}

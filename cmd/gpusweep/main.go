@@ -7,13 +7,16 @@
 //
 //	gpusweep -device p100 -n 10240 -products 8 -fronts
 //	gpusweep -device k40c -n 8704 -json sweep.json
+//	gpusweep -device p100 -workers 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"energyprop/internal/gpusim"
 	"energyprop/internal/pareto"
@@ -21,11 +24,15 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// Ctrl-C cancels the sweep's worker pool instead of killing the
+	// process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run is main's testable body; it returns the process exit code.
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gpusweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	device := fs.String("device", "p100", "device to simulate: k40c or p100")
@@ -33,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	products := fs.Int("products", 8, "total matrix products (G·R)")
 	fronts := fs.Bool("fronts", false, "print Pareto fronts and trade-offs after the CSV")
 	jsonOut := fs.String("json", "", "also persist the sweep as JSON to this file")
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -49,7 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	workload := gpusim.MatMulWorkload{N: *n, Products: *products}
-	results, err := dev.Sweep(workload)
+	results, err := dev.SweepContext(ctx, workload, gpusim.SweepOptions{Workers: *workers})
 	if err != nil {
 		fmt.Fprintf(stderr, "gpusweep: %v\n", err)
 		return 1

@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"fmt"
 	"log"
+	"runtime"
 
 	"energyprop"
 	"energyprop/internal/campaign"
@@ -22,9 +23,19 @@ func main() {
 	dev := gpusim.NewP100()
 	w := gpusim.MatMulWorkload{N: 10240, Products: 8}
 
-	fmt.Printf("measuring every configuration of %d products of %dx%d on %s...\n",
-		w.Products, w.N, w.N, dev.Spec.Name)
-	res, err := campaign.Run(dev, w, campaign.DefaultSpec(1))
+	// The campaign fans configurations out across a bounded worker pool;
+	// per-config seeds are derived from the configuration identity, so
+	// this measures the identical record a serial run would (workers: 1).
+	spec := campaign.DefaultSpec(1)
+	spec.Workers = runtime.GOMAXPROCS(0)
+	spec.Progress = func(done, total int) {
+		if done%25 == 0 || done == total {
+			fmt.Printf("  measured %d/%d configurations\n", done, total)
+		}
+	}
+	fmt.Printf("measuring every configuration of %d products of %dx%d on %s (%d workers)...\n",
+		w.Products, w.N, w.N, dev.Spec.Name, spec.Workers)
+	res, err := campaign.Run(dev, w, spec)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -72,11 +72,13 @@ func main() {
 	fmt.Printf("\nmeasured %s on %s: %.1f J ± %.2f J over %d runs (t=%.3fs)\n",
 		meas.Config, meas.Device, meas.MeasuredEnergyJ, meas.HalfWidthJ, meas.Runs, meas.Seconds)
 
-	// 3. A full measured sweep, analyzed client-side.
+	// 3. A full measured sweep, analyzed client-side. The workers field
+	// fans the campaign out on the server without changing the record.
 	sweepReq, err := json.Marshal(service.SweepRequest{
 		Device:   "p100",
 		Workload: gpusim.MatMulWorkload{N: 10240, Products: 8},
 		Seed:     1,
+		Workers:  8,
 	})
 	if err != nil {
 		log.Fatal(err)

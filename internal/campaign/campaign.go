@@ -7,11 +7,15 @@
 package campaign
 
 import (
+	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 
 	"energyprop/internal/gpusim"
 	"energyprop/internal/meter"
+	"energyprop/internal/parallel"
 	"energyprop/internal/stats"
 	"energyprop/internal/store"
 )
@@ -27,11 +31,39 @@ type Spec struct {
 	// events) with the given probability; pair with
 	// Measure.RejectOutliersK for the robust pipeline.
 	SpikeProb float64
-	// Seed drives the meter noise deterministically.
+	// Seed drives the meter noise deterministically. Each configuration's
+	// meter seed is derived by hashing (Seed, BS, G, R), so a point's
+	// measurement is a pure function of the campaign seed and the
+	// configuration's identity — independent of sweep order and of how
+	// many workers measured the campaign.
 	Seed int64
 	// Traced selects the block-scheduler power profile (ramp/tail) rather
 	// than the constant analytic power.
 	Traced bool
+	// Workers bounds the number of configurations measured concurrently.
+	// 0 (or negative) selects runtime.GOMAXPROCS; 1 forces the serial
+	// reference path. Any worker count produces identical records.
+	Workers int
+	// Progress, if non-nil, is called once per measured configuration
+	// with the running completion count. Calls are serialized by the
+	// engine, so the callback needs no locking of its own.
+	Progress func(done, total int)
+}
+
+// configSeed derives the meter seed for one configuration by mixing the
+// campaign seed with the configuration's identity (FNV-1a over the
+// little-endian words). Replaces the historical spec.Seed + i*7919
+// scheme, whose meaning changed whenever the enumeration order did —
+// under the parallel engine that would have made worker scheduling
+// observable in the measured records.
+func configSeed(seed int64, c gpusim.MatMulConfig) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range []int64{seed, int64(c.BS), int64(c.G), int64(c.R)} {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	return int64(h.Sum64())
 }
 
 // DefaultSpec returns the paper's methodology with 1% meter noise.
@@ -67,8 +99,35 @@ type Result struct {
 }
 
 // Run sweeps every valid configuration of the workload on the device
-// under the campaign spec.
+// under the campaign spec, fanning the configurations out across
+// spec.Workers goroutines. Use RunContext to cancel a campaign mid-sweep.
 func Run(dev *gpusim.Device, w gpusim.MatMulWorkload, spec Spec) (*Result, error) {
+	return RunContext(context.Background(), dev, w, spec)
+}
+
+// RunContext is Run with cancellation: a cancelled context stops the
+// worker pool between configurations and returns ctx.Err().
+func RunContext(ctx context.Context, dev *gpusim.Device, w gpusim.MatMulWorkload, spec Spec) (*Result, error) {
+	if dev == nil {
+		return nil, errors.New("campaign: nil device")
+	}
+	configs, err := dev.EnumerateConfigs(w)
+	if err != nil {
+		return nil, err
+	}
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("campaign: workload %+v admits no configurations", w)
+	}
+	return RunConfigs(ctx, dev, w, configs, spec)
+}
+
+// RunConfigs measures an explicit configuration list (each valid for the
+// workload) rather than the full enumeration — the entry point for
+// re-measuring a front, resuming a partial campaign, or the
+// order-independence tests. Points come back in the given order, but
+// each point's measured value depends only on (spec.Seed, config), not
+// on its position in the list or on spec.Workers.
+func RunConfigs(ctx context.Context, dev *gpusim.Device, w gpusim.MatMulWorkload, configs []gpusim.MatMulConfig, spec Spec) (*Result, error) {
 	if dev == nil {
 		return nil, errors.New("campaign: nil device")
 	}
@@ -79,62 +138,77 @@ func Run(dev *gpusim.Device, w gpusim.MatMulWorkload, spec Spec) (*Result, error
 	if spec.NoiseFrac < 0 {
 		return nil, errors.New("campaign: negative noise")
 	}
-	configs, err := dev.EnumerateConfigs(w)
+	if len(configs) == 0 {
+		return nil, errors.New("campaign: no configurations")
+	}
+	prog := parallel.NewProgress(len(configs), spec.Progress)
+	points, err := parallel.Map(ctx, spec.Workers, len(configs), func(_ context.Context, i int) (PointReport, error) {
+		p, err := measurePoint(dev, w, configs[i], spec)
+		if err != nil {
+			return PointReport{}, err
+		}
+		prog.Tick()
+		return p, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if len(configs) == 0 {
-		return nil, fmt.Errorf("campaign: workload %+v admits no configurations", w)
-	}
-	out := &Result{Device: dev.Spec.Name, Workload: w}
-	for i, c := range configs {
-		var run meter.Run
-		var trueSecs, trueEnergy float64
-		if spec.Traced {
-			tr, err := dev.RunMatMulTraced(w, c)
-			if err != nil {
-				return nil, err
-			}
-			run = tr.Run(dev.Spec.IdlePowerW)
-			trueSecs, trueEnergy = tr.TraceSeconds, tr.TraceEnergyJ
-		} else {
-			r, err := dev.RunMatMul(w, c)
-			if err != nil {
-				return nil, err
-			}
-			run = r.Run(dev.Spec.IdlePowerW)
-			trueSecs, trueEnergy = r.Seconds, r.DynEnergyJ
-		}
-		m := meter.NewMeter(dev.Spec.IdlePowerW, spec.Seed+int64(i)*7919)
-		m.NoiseFrac = spec.NoiseFrac
-		m.SpikeProb = spec.SpikeProb
-		// Short kernels cannot be resolved at the WattsUp's 1 Hz: the real
-		// methodology loops the kernel to stretch the run; equivalently we
-		// sample at least 50 points per run.
-		if d := run.Duration(); d < 50 {
-			m.SampleInterval = d / 50
-		}
-		meas, err := stats.Measure(spec.Measure, func() (float64, error) {
-			rep, err := m.MeasureRun(run)
-			if err != nil {
-				return 0, err
-			}
-			return rep.DynamicEnergyJ, nil
-		})
-		if err != nil {
-			return nil, fmt.Errorf("campaign: config %v: %w", c, err)
-		}
-		out.Points = append(out.Points, PointReport{
-			Config:          c,
-			TrueSeconds:     trueSecs,
-			TrueEnergyJ:     trueEnergy,
-			MeasuredEnergyJ: meas.Mean,
-			HalfWidthJ:      meas.HalfWidth,
-			Runs:            meas.Runs,
-		})
-		out.TotalRuns += meas.Runs
+	out := &Result{Device: dev.Spec.Name, Workload: w, Points: points}
+	for _, p := range points {
+		out.TotalRuns += p.Runs
 	}
 	return out, nil
+}
+
+// measurePoint runs the paper's statistical loop for one configuration:
+// the per-config unit of work the pool fans out. It builds its own meter
+// (seeded from the config identity), so concurrent points share no
+// mutable state.
+func measurePoint(dev *gpusim.Device, w gpusim.MatMulWorkload, c gpusim.MatMulConfig, spec Spec) (PointReport, error) {
+	var run meter.Run
+	var trueSecs, trueEnergy float64
+	if spec.Traced {
+		tr, err := dev.RunMatMulTraced(w, c)
+		if err != nil {
+			return PointReport{}, err
+		}
+		run = tr.Run(dev.Spec.IdlePowerW)
+		trueSecs, trueEnergy = tr.TraceSeconds, tr.TraceEnergyJ
+	} else {
+		r, err := dev.RunMatMul(w, c)
+		if err != nil {
+			return PointReport{}, err
+		}
+		run = r.Run(dev.Spec.IdlePowerW)
+		trueSecs, trueEnergy = r.Seconds, r.DynEnergyJ
+	}
+	m := meter.NewMeter(dev.Spec.IdlePowerW, configSeed(spec.Seed, c))
+	m.NoiseFrac = spec.NoiseFrac
+	m.SpikeProb = spec.SpikeProb
+	// Short kernels cannot be resolved at the WattsUp's 1 Hz: the real
+	// methodology loops the kernel to stretch the run; equivalently we
+	// sample at least 50 points per run.
+	if d := run.Duration(); d < 50 {
+		m.SampleInterval = d / 50
+	}
+	meas, err := stats.Measure(spec.Measure, func() (float64, error) {
+		rep, err := m.MeasureRun(run)
+		if err != nil {
+			return 0, err
+		}
+		return rep.DynamicEnergyJ, nil
+	})
+	if err != nil {
+		return PointReport{}, fmt.Errorf("campaign: config %v: %w", c, err)
+	}
+	return PointReport{
+		Config:          c,
+		TrueSeconds:     trueSecs,
+		TrueEnergyJ:     trueEnergy,
+		MeasuredEnergyJ: meas.Mean,
+		HalfWidthJ:      meas.HalfWidth,
+		Runs:            meas.Runs,
+	}, nil
 }
 
 // CompareConfigs measures two configurations of the same workload and

@@ -1,0 +1,221 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"energyprop/internal/gpusim"
+	"energyprop/internal/store"
+)
+
+// TestSeedIndependentOfConfigOrder is the regression test for the
+// order-dependent seeding bug: the historical scheme seeded each meter
+// as spec.Seed + i*7919, so reordering the configuration list changed
+// every measured value. Seeds now hash the configuration's identity —
+// shuffling the sweep order must leave each config's measured energy
+// bit-identical.
+func TestSeedIndependentOfConfigOrder(t *testing.T) {
+	dev := gpusim.NewP100()
+	w := smallWorkload()
+	configs, err := dev.EnumerateConfigs(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := DefaultSpec(21)
+	spec.Workers = 1 // isolate ordering from parallelism
+
+	canonical, err := RunConfigs(context.Background(), dev, w, configs, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := append([]gpusim.MatMulConfig(nil), configs...)
+	rand.New(rand.NewSource(99)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	if shuffled[0] == configs[0] && shuffled[1] == configs[1] {
+		t.Fatal("shuffle left the order unchanged; pick another shuffle seed")
+	}
+	reordered, err := RunConfigs(context.Background(), dev, w, shuffled, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byConfig := make(map[gpusim.MatMulConfig]PointReport, len(reordered.Points))
+	for _, p := range reordered.Points {
+		byConfig[p.Config] = p
+	}
+	for _, p := range canonical.Points {
+		q, ok := byConfig[p.Config]
+		if !ok {
+			t.Fatalf("config %v missing from shuffled run", p.Config)
+		}
+		if p.MeasuredEnergyJ != q.MeasuredEnergyJ || p.Runs != q.Runs || p.HalfWidthJ != q.HalfWidthJ {
+			t.Errorf("%v: canonical (%.6f J, %d runs) vs shuffled (%.6f J, %d runs) — seeding is order-dependent",
+				p.Config, p.MeasuredEnergyJ, p.Runs, q.MeasuredEnergyJ, q.Runs)
+		}
+	}
+}
+
+// TestSerialParallelByteIdentical is the engine's determinism contract:
+// on both devices, a 1-worker campaign and an 8-worker campaign must
+// serialize to byte-identical store.SweepRecord JSON.
+func TestSerialParallelByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		dev  *gpusim.Device
+	}{
+		{"k40c", gpusim.NewK40c()},
+		{"p100", gpusim.NewP100()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w := smallWorkload()
+			recordWith := func(workers int) []byte {
+				spec := DefaultSpec(31)
+				spec.Workers = workers
+				res, err := Run(tc.dev, w, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec, err := res.Record()
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := store.Save(&buf, rec); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			serial := recordWith(1)
+			parallel := recordWith(8)
+			if !bytes.Equal(serial, parallel) {
+				t.Errorf("1-worker and 8-worker records differ:\nserial:   %s\nparallel: %s", serial, parallel)
+			}
+			// The points must also round-trip through JSON in canonical
+			// enumeration order.
+			var rec store.SweepRecord
+			if err := json.Unmarshal(parallel, &rec); err != nil {
+				t.Fatal(err)
+			}
+			configs, err := tc.dev.EnumerateConfigs(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rec.Results) != len(configs) {
+				t.Fatalf("%d results, want %d", len(rec.Results), len(configs))
+			}
+			for i, c := range configs {
+				got := gpusim.MatMulConfig{BS: rec.Results[i].BS, G: rec.Results[i].G, R: rec.Results[i].R}
+				if got != c {
+					t.Fatalf("result %d is %v, want canonical %v", i, got, c)
+				}
+			}
+		})
+	}
+}
+
+func TestRunConfigsValidation(t *testing.T) {
+	dev := gpusim.NewP100()
+	if _, err := RunConfigs(context.Background(), nil, smallWorkload(), nil, DefaultSpec(1)); err == nil {
+		t.Error("nil device: want error")
+	}
+	if _, err := RunConfigs(context.Background(), dev, smallWorkload(), nil, DefaultSpec(1)); err == nil {
+		t.Error("empty config list: want error")
+	}
+	bad := []gpusim.MatMulConfig{{BS: 99, G: 1, R: 2}}
+	if _, err := RunConfigs(context.Background(), dev, smallWorkload(), bad, DefaultSpec(1)); err == nil {
+		t.Error("invalid config: want error")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, gpusim.NewP100(), smallWorkload(), DefaultSpec(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestProgressReportsEveryConfig(t *testing.T) {
+	dev := gpusim.NewP100()
+	w := smallWorkload()
+	configs, err := dev.EnumerateConfigs(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ticks atomic.Int64
+	var last atomic.Int64
+	spec := DefaultSpec(17)
+	spec.Workers = 4
+	spec.Progress = func(done, total int) {
+		ticks.Add(1)
+		last.Store(int64(done))
+		if total != len(configs) {
+			t.Errorf("total = %d, want %d", total, len(configs))
+		}
+	}
+	if _, err := Run(dev, w, spec); err != nil {
+		t.Fatal(err)
+	}
+	if int(ticks.Load()) != len(configs) {
+		t.Errorf("%d progress ticks, want %d", ticks.Load(), len(configs))
+	}
+	if int(last.Load()) != len(configs) {
+		t.Errorf("final done = %d, want %d", last.Load(), len(configs))
+	}
+}
+
+func TestConfigSeedDistinctAndStable(t *testing.T) {
+	seen := make(map[int64]gpusim.MatMulConfig)
+	for bs := 1; bs <= 32; bs++ {
+		for g := 1; g <= 8; g++ {
+			c := gpusim.MatMulConfig{BS: bs, G: g, R: 8 / max(1, g)}
+			s := configSeed(42, c)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision between %v and %v", prev, c)
+			}
+			seen[s] = c
+			if s != configSeed(42, c) {
+				t.Fatal("configSeed not stable")
+			}
+		}
+	}
+	c := gpusim.MatMulConfig{BS: 8, G: 1, R: 8}
+	if configSeed(1, c) == configSeed(2, c) {
+		t.Error("different campaign seeds must give different config seeds")
+	}
+}
+
+// BenchmarkParallelSweep measures the full campaign hot path (traced
+// runs, noisy meter, confidence-loop repetition for every configuration)
+// at increasing worker counts. The configurations are independent, so on
+// a multi-core host throughput scales with workers until GOMAXPROCS is
+// saturated; compare the workers=1 and workers=8 lines for the speedup.
+func BenchmarkParallelSweep(b *testing.B) {
+	dev := gpusim.NewP100()
+	w := gpusim.MatMulWorkload{N: 10240, Products: 8}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			spec := DefaultSpec(1)
+			spec.Workers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(dev, w, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Points) == 0 {
+					b.Fatal("empty campaign")
+				}
+			}
+		})
+	}
+}

@@ -25,7 +25,9 @@ func runCampaign(opt Options) ([]*Table, error) {
 	if opt.Quick {
 		w.Products = 2
 	}
-	res, err := campaign.Run(dev, w, campaign.DefaultSpec(opt.Seed))
+	spec := campaign.DefaultSpec(opt.Seed)
+	spec.Workers = opt.Workers
+	res, err := campaign.Run(dev, w, spec)
 	if err != nil {
 		return nil, err
 	}

@@ -20,6 +20,9 @@ type Options struct {
 	// Quick shrinks sweeps for tests and benchmarks (fewer sizes, fewer
 	// measured repetitions) without changing any qualitative outcome.
 	Quick bool
+	// Workers bounds the fan-out of the measured-campaign experiments
+	// (0 = one per CPU). Results are identical for every worker count.
+	Workers int
 }
 
 // DefaultOptions returns the reproducible defaults.

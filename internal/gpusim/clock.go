@@ -1,7 +1,10 @@
 package gpusim
 
 import (
+	"context"
 	"fmt"
+
+	"energyprop/internal/parallel"
 )
 
 // GPU clock scaling (the nvidia-smi -lgc analog): the system-level knob
@@ -44,14 +47,24 @@ func (d *Device) RunMatMulAtClock(w MatMulWorkload, c MatMulConfig, clockMHz flo
 
 // ClockSweep runs one configuration across every clock level.
 func (d *Device) ClockSweep(w MatMulWorkload, c MatMulConfig) ([]*Result, []float64, error) {
+	return d.ClockSweepContext(context.Background(), w, c, SweepOptions{})
+}
+
+// ClockSweepContext is ClockSweep on the parallel engine: clock levels
+// fan out across workers and the results come back in level order.
+func (d *Device) ClockSweepContext(ctx context.Context, w MatMulWorkload, c MatMulConfig, opt SweepOptions) ([]*Result, []float64, error) {
 	levels := d.ClockLevels()
-	out := make([]*Result, 0, len(levels))
-	for _, mhz := range levels {
-		r, err := d.RunMatMulAtClock(w, c, mhz)
+	prog := parallel.NewProgress(len(levels), opt.Progress)
+	out, err := parallel.Map(ctx, opt.Workers, len(levels), func(_ context.Context, i int) (*Result, error) {
+		r, err := d.RunMatMulAtClock(w, c, levels[i])
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		out = append(out, r)
+		prog.Tick()
+		return r, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return out, levels, nil
 }

@@ -1,9 +1,11 @@
 package gpusim
 
 import (
+	"context"
 	"fmt"
 
 	"energyprop/internal/meter"
+	"energyprop/internal/parallel"
 )
 
 // MatMulWorkload is the problem every configuration must solve: Products
@@ -157,9 +159,31 @@ func (r *Result) Run(idlePowerW float64) meter.Run {
 	return meter.ConstantRun{Seconds: r.Seconds, Watts: idlePowerW + r.DynPowerW}
 }
 
+// SweepOptions tunes the parallel sweep engine.
+type SweepOptions struct {
+	// Workers bounds the number of configurations evaluated concurrently.
+	// 0 (or negative) selects runtime.GOMAXPROCS; 1 forces the serial
+	// reference path.
+	Workers int
+	// Progress, if non-nil, is called once per completed configuration
+	// with the running completion count. Calls are serialized by the
+	// engine, so the callback needs no locking of its own.
+	Progress func(done, total int)
+}
+
 // Sweep runs every valid configuration of the workload and returns the
-// results in enumeration order.
+// results in enumeration order. It fans out across GOMAXPROCS workers;
+// the model is deterministic, so the results are identical to a serial
+// sweep. Use SweepContext for cancellation or explicit worker counts.
 func (d *Device) Sweep(w MatMulWorkload) ([]*Result, error) {
+	return d.SweepContext(context.Background(), w, SweepOptions{})
+}
+
+// SweepContext is Sweep with context cancellation, a configurable worker
+// bound, and per-configuration progress callbacks. Results are always
+// reassembled in canonical enumeration order (by BS, then G), whatever
+// the completion order of the workers.
+func (d *Device) SweepContext(ctx context.Context, w MatMulWorkload, opt SweepOptions) ([]*Result, error) {
 	configs, err := d.EnumerateConfigs(w)
 	if err != nil {
 		return nil, err
@@ -167,13 +191,13 @@ func (d *Device) Sweep(w MatMulWorkload) ([]*Result, error) {
 	if len(configs) == 0 {
 		return nil, fmt.Errorf("gpusim: workload %+v admits no valid configuration", w)
 	}
-	out := make([]*Result, 0, len(configs))
-	for _, c := range configs {
-		r, err := d.RunMatMul(w, c)
+	prog := parallel.NewProgress(len(configs), opt.Progress)
+	return parallel.Map(ctx, opt.Workers, len(configs), func(_ context.Context, i int) (*Result, error) {
+		r, err := d.RunMatMul(w, configs[i])
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, r)
-	}
-	return out, nil
+		prog.Tick()
+		return r, nil
+	})
 }

@@ -1,0 +1,108 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// postBody drives a handler directly (no network) and returns the
+// recorded response. The request context is a live one so cancellation
+// paths stay exercised by the fuzzer.
+func postBody(path, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rr := httptest.NewRecorder()
+	New().Handler().ServeHTTP(rr, req)
+	return rr
+}
+
+// fuzzSeeds are shared by both endpoint fuzzers: well-formed requests,
+// malformed JSON, unknown fields, and extreme or adversarial numbers.
+var fuzzSeeds = []string{
+	``,
+	`{`,
+	`{not json`,
+	`null`,
+	`[]`,
+	`"string"`,
+	`{"device":"p100"}`,
+	`{"device":"gtx480","workload":{"N":1024,"Products":1}}`,
+	`{"device":"p100","bogus":1}`,
+	`{"device":"p100","workload":{"N":1024,"Products":2},"config":{"BS":8,"G":1,"R":2},"seed":1}`,
+	`{"device":"k40c","workload":{"N":4096,"Products":2},"seed":3,"workers":2}`,
+	`{"device":"p100","workload":{"N":-5,"Products":2}}`,
+	`{"device":"p100","workload":{"N":99999999999,"Products":8}}`,
+	`{"device":"p100","workload":{"N":10240,"Products":9223372036854775807}}`,
+	`{"device":"p100","workload":{"N":10240,"Products":8},"workers":-1}`,
+	`{"device":"p100","workload":{"N":10240,"Products":8},"workers":100000}`,
+	`{"device":"p100","workload":{"N":1e30,"Products":1}}`,
+	`{"device":"p100","workload":{"N":1024,"Products":2},"config":{"BS":-1,"G":0,"R":0}}`,
+	`{"seed":` + strings.Repeat("9", 400) + `}`,
+}
+
+// checkResponse is the property both fuzzers assert: the decoder and
+// handler never panic (the fuzzer catches that on its own), anything
+// that is not a valid request is answered 4xx — never 5xx — and every
+// reply is JSON.
+func checkResponse(t *testing.T, rr *httptest.ResponseRecorder, body string) {
+	t.Helper()
+	code := rr.Code
+	if code >= 500 {
+		t.Fatalf("5xx (%d) for body %q: %s", code, body, rr.Body.String())
+	}
+	if code != http.StatusOK && (code < 400 || code >= 500) {
+		t.Fatalf("status %d for body %q, want 200 or 4xx", code, body)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type %q for body %q", ct, body)
+	}
+}
+
+// FuzzMeasureDecode fuzzes the /measure JSON decoder and handler.
+func FuzzMeasureDecode(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		// Random inputs that happen to decode into a *valid* large
+		// request would make the fuzzer run real measurements; bound the
+		// cost by capping the body size (valid large numbers are still
+		// covered by the explicit seeds above).
+		if len(body) > 4096 {
+			t.Skip()
+		}
+		checkResponse(t, postBody("/measure", body), body)
+	})
+}
+
+// FuzzSweepDecode fuzzes the /sweep JSON decoder and handler.
+func FuzzSweepDecode(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		if len(body) > 4096 {
+			t.Skip()
+		}
+		checkResponse(t, postBody("/sweep", body), body)
+	})
+}
+
+// TestSweepHonorsRequestCancellation: a client that disconnects before
+// the campaign starts must not receive a record, and the handler must
+// return promptly instead of measuring the full sweep.
+func TestSweepHonorsRequestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/sweep",
+		strings.NewReader(`{"device":"p100","workload":{"N":10240,"Products":8},"seed":1}`)).WithContext(ctx)
+	rr := httptest.NewRecorder()
+	New().Handler().ServeHTTP(rr, req)
+	if body, _ := io.ReadAll(rr.Body); len(body) != 0 {
+		t.Errorf("cancelled request still produced a body: %s", body)
+	}
+}

@@ -6,16 +6,22 @@
 //	POST /measure   {device, workload, config, seed}
 //	                                      one configuration, measured with
 //	                                      the paper's statistical loop
-//	POST /sweep     {device, workload, seed}
+//	POST /sweep     {device, workload, seed, workers}
 //	                                      a full measured campaign,
 //	                                      returned as a store.SweepRecord
 //
 // All bodies are JSON. Unknown fields are rejected so client typos
-// surface as errors rather than silently defaulted parameters.
+// surface as errors rather than silently defaulted parameters. Sweeps
+// run on the parallel campaign engine: "workers" bounds the fan-out
+// (default GOMAXPROCS) without changing the returned record, and a
+// client that disconnects mid-campaign cancels the worker pool through
+// the request context.
 package service
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
@@ -24,6 +30,32 @@ import (
 	"energyprop/internal/meter"
 	"energyprop/internal/stats"
 )
+
+// Request ceilings. The meter samples runs at WattsUp rate (seconds of
+// simulated time per sample), so a workload's simulated duration bounds
+// the service's memory and CPU per request; these caps keep any single
+// request within a sane envelope while comfortably covering the paper's
+// largest study (N=18432, Products=8).
+const (
+	// MaxRequestN is the largest accepted matrix dimension.
+	MaxRequestN = 32768
+	// MaxRequestProducts is the largest accepted product count.
+	MaxRequestProducts = 64
+	// MaxRequestWorkers is the largest accepted sweep fan-out.
+	MaxRequestWorkers = 256
+)
+
+// checkWorkloadLimits rejects workloads that validate structurally but
+// exceed the service's resource envelope.
+func checkWorkloadLimits(w gpusim.MatMulWorkload) error {
+	if w.N > MaxRequestN {
+		return fmt.Errorf("workload N=%d exceeds service limit %d", w.N, MaxRequestN)
+	}
+	if w.Products > MaxRequestProducts {
+		return fmt.Errorf("workload Products=%d exceeds service limit %d", w.Products, MaxRequestProducts)
+	}
+	return nil
+}
 
 // deviceFactories maps the API device names to constructors. Each request
 // builds a fresh device so ablation state cannot leak between calls.
@@ -118,6 +150,10 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if err := checkWorkloadLimits(req.Workload); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	tr, err := dev.RunMatMulTraced(req.Workload, req.Config)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
@@ -161,6 +197,9 @@ type SweepRequest struct {
 	Device   string                `json:"device"`
 	Workload gpusim.MatMulWorkload `json:"workload"`
 	Seed     int64                 `json:"seed"`
+	// Workers bounds the campaign's fan-out; 0 means GOMAXPROCS. The
+	// returned record is identical for every worker count.
+	Workers int `json:"workers"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -183,8 +222,23 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	res, err := campaign.Run(dev, req.Workload, campaign.DefaultSpec(req.Seed))
+	if err := checkWorkloadLimits(req.Workload); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Workers < 0 || req.Workers > MaxRequestWorkers {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("workers=%d out of range 0..%d", req.Workers, MaxRequestWorkers))
+		return
+	}
+	spec := campaign.DefaultSpec(req.Seed)
+	spec.Workers = req.Workers
+	res, err := campaign.RunContext(r.Context(), dev, req.Workload, spec)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The client is gone (or timed out); nothing useful to write.
+			return
+		}
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -170,6 +171,60 @@ func TestSweepRejectsBadWorkload(t *testing.T) {
 	})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSweepWorkersFieldDeterministic(t *testing.T) {
+	// The workers field tunes throughput only: any fan-out must return
+	// the byte-identical record.
+	ts := newTestServer(t)
+	get := func(workers int) []byte {
+		resp := postJSON(t, ts.URL+"/sweep", SweepRequest{
+			Device:   "p100",
+			Workload: gpusim.MatMulWorkload{N: 4096, Products: 2},
+			Seed:     7,
+			Workers:  workers,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("workers=%d: status %d", workers, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	serial, parallel := get(1), get(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("records differ between workers=1 and workers=8:\n%s\n%s", serial, parallel)
+	}
+}
+
+func TestRequestLimits(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		name string
+		path string
+		body any
+	}{
+		{"sweep N too large", "/sweep", SweepRequest{
+			Device: "p100", Workload: gpusim.MatMulWorkload{N: MaxRequestN + 1, Products: 2}}},
+		{"sweep products too large", "/sweep", SweepRequest{
+			Device: "p100", Workload: gpusim.MatMulWorkload{N: 1024, Products: MaxRequestProducts + 1}}},
+		{"sweep workers negative", "/sweep", SweepRequest{
+			Device: "p100", Workload: gpusim.MatMulWorkload{N: 1024, Products: 2}, Workers: -1}},
+		{"sweep workers too large", "/sweep", SweepRequest{
+			Device: "p100", Workload: gpusim.MatMulWorkload{N: 1024, Products: 2}, Workers: MaxRequestWorkers + 1}},
+		{"measure N too large", "/measure", MeasureRequest{
+			Device:   "p100",
+			Workload: gpusim.MatMulWorkload{N: MaxRequestN + 1, Products: 2},
+			Config:   gpusim.MatMulConfig{BS: 8, G: 1, R: 2}}},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, ts.URL+tc.path, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
 	}
 }
 
