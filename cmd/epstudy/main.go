@@ -14,11 +14,11 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 
+	"energyprop/internal/cli"
 	"energyprop/internal/experiment"
 )
 
@@ -42,6 +42,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	out := cli.NewWriter(stdout)
+	// done folds a stdout write failure into the exit code: a truncated
+	// report must not look like a successful run.
+	done := func() int {
+		if err := out.Err(); err != nil {
+			cli.Errorf(stderr, "epstudy: writing output: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 	opt := experiment.Options{Seed: *seed, Quick: *quick, Workers: *workers}
 	var ids []string
 	if *runID != "" && *runID != "all" {
@@ -51,56 +61,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *html != "" {
 		page, err := experiment.RenderHTML(ids, opt)
 		if err != nil {
-			fmt.Fprintf(stderr, "epstudy: %v\n", err)
+			cli.Errorf(stderr, "epstudy: %v\n", err)
 			return 1
 		}
 		if err := os.WriteFile(*html, []byte(page), 0o644); err != nil {
-			fmt.Fprintf(stderr, "epstudy: %v\n", err)
+			cli.Errorf(stderr, "epstudy: %v\n", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "wrote %s\n", *html)
-		return 0
+		out.Printf("wrote %s\n", *html)
+		return done()
 	}
 
 	if *markdown != "" {
 		report, err := experiment.RenderReport(ids, opt)
 		if err != nil {
-			fmt.Fprintf(stderr, "epstudy: %v\n", err)
+			cli.Errorf(stderr, "epstudy: %v\n", err)
 			return 1
 		}
 		if *markdown == "-" {
-			fmt.Fprint(stdout, report)
+			out.Printf("%s", report)
 		} else if err := os.WriteFile(*markdown, []byte(report), 0o644); err != nil {
-			fmt.Fprintf(stderr, "epstudy: %v\n", err)
+			cli.Errorf(stderr, "epstudy: %v\n", err)
 			return 1
 		}
-		return 0
+		return done()
 	}
 
 	if *svgDir != "" {
-		if err := writeSVGs(stdout, *svgDir, opt); err != nil {
-			fmt.Fprintf(stderr, "epstudy: %v\n", err)
+		if err := writeSVGs(out, *svgDir, opt); err != nil {
+			cli.Errorf(stderr, "epstudy: %v\n", err)
 			return 1
 		}
 		if *runID == "" && !*list {
-			return 0
+			return done()
 		}
 	}
 
 	if *list || *runID == "" {
-		fmt.Fprintln(stdout, "available experiments:")
+		out.Println("available experiments:")
 		for _, id := range experiment.IDs() {
 			e, err := experiment.Get(id)
 			if err != nil {
 				continue
 			}
-			fmt.Fprintf(stdout, "  %-12s %s\n", id, e.Title)
-			fmt.Fprintf(stdout, "  %-12s paper: %s\n", "", e.Paper)
+			out.Printf("  %-12s %s\n", id, e.Title)
+			out.Printf("  %-12s paper: %s\n", "", e.Paper)
 		}
 		if *runID == "" && !*list {
-			fmt.Fprintln(stdout, "\nrun one with: epstudy -run <id>")
+			out.Println("\nrun one with: epstudy -run <id>")
 		}
-		return 0
+		return done()
 	}
 
 	var tables []*experiment.Table
@@ -111,26 +121,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		var e experiment.Experiment
 		e, err = experiment.Get(*runID)
 		if err == nil {
-			fmt.Fprintf(stdout, "# %s\n# paper: %s\n\n", e.Title, e.Paper)
+			out.Printf("# %s\n# paper: %s\n\n", e.Title, e.Paper)
 			tables, err = e.Run(opt)
 		}
 	}
 	if err != nil {
-		fmt.Fprintf(stderr, "epstudy: %v\n", err)
+		cli.Errorf(stderr, "epstudy: %v\n", err)
 		return 1
 	}
 	for _, t := range tables {
 		if *csv {
-			fmt.Fprintf(stdout, "# %s\n%s\n", t.Title, t.CSV())
+			out.Printf("# %s\n%s\n", t.Title, t.CSV())
 		} else {
-			fmt.Fprintln(stdout, t.Render())
+			out.Println(t.Render())
 		}
 	}
-	return 0
+	return done()
 }
 
 // writeSVGs renders the figure images into dir.
-func writeSVGs(stdout io.Writer, dir string, opt experiment.Options) error {
+func writeSVGs(out *cli.Writer, dir string, opt experiment.Options) error {
 	figs, err := experiment.SVGFigures(opt)
 	if err != nil {
 		return err
@@ -143,7 +153,7 @@ func writeSVGs(stdout io.Writer, dir string, opt experiment.Options) error {
 		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "wrote %s\n", path)
+		out.Printf("wrote %s\n", path)
 	}
 	return nil
 }

@@ -1,0 +1,99 @@
+// Command epvet runs the repo's domain lint rules (internal/lint) over
+// the module and reports findings as `file:line: rule: message`, exiting
+// non-zero if any survive. It enforces the determinism and measurement
+// contracts the methodology rests on; see DESIGN.md for the rule table.
+//
+// Usage:
+//
+//	epvet [-list] [packages]
+//
+// Packages are directories relative to the working directory; a trailing
+// /... loads the whole subtree. With no arguments epvet checks ./...
+// Suppress an individual finding with an in-source directive:
+//
+//	//lint:ignore <rule> <non-empty reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"energyprop/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the rule registry and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: epvet [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	rules := lint.AllRules()
+	if *list {
+		for _, r := range rules {
+			fmt.Printf("%-11s %s\n", r.Name(), r.Doc())
+		}
+		return
+	}
+	if err := run(flag.Args(), rules); err != nil {
+		fmt.Fprintf(os.Stderr, "epvet: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, rules []lint.Rule) error {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	root, module, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		return err
+	}
+	loader := lint.NewLoader(root, module)
+
+	seen := map[string]bool{}
+	var pkgs []*lint.Package
+	add := func(ps ...*lint.Package) {
+		for _, p := range ps {
+			if !seen[p.Path] {
+				seen[p.Path] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+	for _, a := range args {
+		if rest, ok := strings.CutSuffix(a, "..."); ok {
+			dir := filepath.Join(cwd, filepath.FromSlash(strings.TrimSuffix(rest, "/")))
+			ps, err := loader.LoadTree(dir)
+			if err != nil {
+				return err
+			}
+			add(ps...)
+			continue
+		}
+		p, err := loader.Load(filepath.Join(cwd, filepath.FromSlash(a)))
+		if err != nil {
+			return err
+		}
+		add(p)
+	}
+
+	findings, sum := lint.Run(pkgs, rules)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	fmt.Fprintf(os.Stderr, "epvet: %d packages, %d files, %d findings, %d suppressed\n",
+		sum.Packages, sum.Files, sum.Reported, sum.Suppressed)
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}

@@ -13,11 +13,11 @@ package main
 import (
 	"context"
 	"flag"
-	"fmt"
 	"io"
 	"os"
 	"os/signal"
 
+	"energyprop/internal/cli"
 	"energyprop/internal/gpusim"
 	"energyprop/internal/pareto"
 	"energyprop/internal/store"
@@ -52,56 +52,66 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	case "p100":
 		dev = gpusim.NewP100()
 	default:
-		fmt.Fprintf(stderr, "gpusweep: unknown device %q (want k40c or p100)\n", *device)
+		cli.Errorf(stderr, "gpusweep: unknown device %q (want k40c or p100)\n", *device)
 		return 2
 	}
 
 	workload := gpusim.MatMulWorkload{N: *n, Products: *products}
 	results, err := dev.SweepContext(ctx, workload, gpusim.SweepOptions{Workers: *workers})
 	if err != nil {
-		fmt.Fprintf(stderr, "gpusweep: %v\n", err)
+		cli.Errorf(stderr, "gpusweep: %v\n", err)
 		return 1
 	}
 
 	if *jsonOut != "" {
 		if err := saveJSON(*jsonOut, dev.Spec.Name, workload, results); err != nil {
-			fmt.Fprintf(stderr, "gpusweep: writing %s: %v\n", *jsonOut, err)
+			cli.Errorf(stderr, "gpusweep: writing %s: %v\n", *jsonOut, err)
 			return 1
 		}
 	}
 
-	fmt.Fprintln(stdout, "config,bs,g,r,seconds,dyn_power_w,dyn_energy_j,gflops,fetch_active")
+	out := cli.NewWriter(stdout)
+	// done folds a stdout write failure into the exit code: a truncated
+	// CSV must not look like a complete sweep to downstream tooling.
+	done := func() int {
+		if err := out.Err(); err != nil {
+			cli.Errorf(stderr, "gpusweep: writing output: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	out.Println("config,bs,g,r,seconds,dyn_power_w,dyn_energy_j,gflops,fetch_active")
 	points := make([]pareto.Point, 0, len(results))
 	for _, r := range results {
-		fmt.Fprintf(stdout, "%q,%d,%d,%d,%.4f,%.2f,%.1f,%.1f,%v\n",
+		out.Printf("%q,%d,%d,%d,%.4f,%.2f,%.1f,%.1f,%v\n",
 			r.Config.String(), r.Config.BS, r.Config.G, r.Config.R,
 			r.Seconds, r.DynPowerW, r.DynEnergyJ, r.GFLOPs, r.FetchEngineActive)
 		points = append(points, pareto.Point{Label: r.Config.String(), Time: r.Seconds, Energy: r.DynEnergyJ})
 	}
 
 	if !*fronts {
-		return 0
+		return done()
 	}
 	ranks := pareto.Ranks(points)
 	for i, rank := range ranks {
 		if i > 2 {
-			fmt.Fprintf(stdout, "# ... %d further ranks\n", len(ranks)-i)
+			out.Printf("# ... %d further ranks\n", len(ranks)-i)
 			break
 		}
-		fmt.Fprintf(stdout, "# rank %d (%d points):\n", i, len(rank))
+		out.Printf("# rank %d (%d points):\n", i, len(rank))
 		for _, p := range rank {
-			fmt.Fprintf(stdout, "#   %-22s t=%.4fs E=%.1fJ\n", p.Label, p.Time, p.Energy)
+			out.Printf("#   %-22s t=%.4fs E=%.1fJ\n", p.Label, p.Time, p.Energy)
 		}
 		tos, err := pareto.TradeOffs(rank)
 		if err != nil {
 			continue
 		}
 		for _, to := range tos {
-			fmt.Fprintf(stdout, "#   tradeoff %-22s degradation=%.1f%% saving=%.1f%%\n",
+			out.Printf("#   tradeoff %-22s degradation=%.1f%% saving=%.1f%%\n",
 				to.Point.Label, to.PerfDegradationPct, to.EnergySavingPct)
 		}
 	}
-	return 0
+	return done()
 }
 
 // saveJSON persists the sweep through internal/store.

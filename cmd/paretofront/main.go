@@ -32,7 +32,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "paretofront: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
+		defer f.Close() //lint:ignore droppederr input is read-only and fully consumed; read errors surface via the scanner
 		in = f
 	}
 	points, err := readPoints(in)

@@ -32,7 +32,7 @@ func main() {
 			log.Printf("server: %v", err)
 		}
 	}()
-	defer srv.Close()
+	defer srv.Close() //lint:ignore droppederr example teardown; the process is exiting and the client calls have already completed
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("measurement service on %s\n\n", base)
 
@@ -45,7 +45,7 @@ func main() {
 	if err := json.NewDecoder(resp.Body).Decode(&devices); err != nil {
 		log.Fatal(err)
 	}
-	resp.Body.Close()
+	closeBody(resp)
 	for _, d := range devices {
 		fmt.Printf("device %-6v %v (TDP %v W)\n", d["name"], d["catalog_name"], d["tdp_watts"])
 	}
@@ -68,7 +68,7 @@ func main() {
 	if err := json.NewDecoder(resp.Body).Decode(&meas); err != nil {
 		log.Fatal(err)
 	}
-	resp.Body.Close()
+	closeBody(resp)
 	fmt.Printf("\nmeasured %s on %s: %.1f J ± %.2f J over %d runs (t=%.3fs)\n",
 		meas.Config, meas.Device, meas.MeasuredEnergyJ, meas.HalfWidthJ, meas.Runs, meas.Seconds)
 
@@ -88,7 +88,7 @@ func main() {
 		log.Fatal(err)
 	}
 	rec, err := store.Load(resp.Body)
-	resp.Body.Close()
+	closeBody(resp)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -96,5 +96,12 @@ func main() {
 	fmt.Printf("\nsweep of %d measured configurations; front:\n", len(rec.Results))
 	for _, p := range front {
 		fmt.Printf("  %-22s t=%7.3fs E=%8.1fJ\n", p.Label, p.Time, p.Energy)
+	}
+}
+
+// closeBody closes a response body whose payload has been fully decoded.
+func closeBody(resp *http.Response) {
+	if err := resp.Body.Close(); err != nil {
+		log.Printf("closing response body: %v", err)
 	}
 }

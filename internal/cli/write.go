@@ -1,0 +1,49 @@
+// Package cli holds the small output helpers shared by the command-line
+// drivers (cmd/epstudy, cmd/gpusweep, ...). Its job is to make payload
+// writes honest: a CLI whose stdout write fails (closed pipe, full disk)
+// must say so in its exit code instead of silently truncating a CSV that
+// downstream tooling will treat as a complete sweep.
+package cli
+
+import (
+	"fmt"
+	"io"
+)
+
+// Writer wraps an io.Writer with a sticky first error, so command output
+// code can print a report line by line without checking every call and
+// still surface the first write failure in the exit code via Err.
+type Writer struct {
+	w   io.Writer
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Printf formats to the underlying writer unless a previous write
+// already failed.
+func (w *Writer) Printf(format string, a ...any) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = fmt.Fprintf(w.w, format, a...)
+}
+
+// Println writes the operands followed by a newline, like fmt.Println.
+func (w *Writer) Println(a ...any) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = fmt.Fprintln(w.w, a...)
+}
+
+// Err returns the first write error, or nil.
+func (w *Writer) Err() error { return w.err }
+
+// Errorf writes a diagnostic line, typically to stderr. A failure to
+// write a diagnostic is deliberately dropped: the process is already on
+// its failure path and has nowhere left to report to.
+func Errorf(w io.Writer, format string, a ...any) {
+	_, _ = fmt.Fprintf(w, format, a...) //lint:ignore droppederr diagnostics are best-effort; the exit code already reports the failure
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DroppedErr flags silently dropped errors in non-test code: call
+// statements (including deferred ones) whose results include an error
+// nobody reads, and assignments of an error result to the blank
+// identifier. A swallowed error in the measurement pipeline turns a
+// failed run into a silently wrong record, which is worse than a crash
+// for a methodology whose output is a statistical claim.
+//
+// Calls that cannot fail are exempt: fmt.Print/Printf/Println (stdout),
+// fmt.Fprint* into a *strings.Builder, *bytes.Buffer, os.Stdout, or
+// os.Stderr, and methods on strings.Builder, bytes.Buffer, and the hash
+// interfaces — all documented never to return a non-nil error.
+type DroppedErr struct{}
+
+func (DroppedErr) Name() string { return "droppederr" }
+
+func (DroppedErr) Doc() string {
+	return "no silently dropped errors: handle, return, or //lint:ignore with a reason"
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func (DroppedErr) Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, f := range pkg.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					out = append(out, checkUnhandledCall(pkg, call, "")...)
+				}
+			case *ast.DeferStmt:
+				out = append(out, checkUnhandledCall(pkg, s.Call, "deferred ")...)
+			case *ast.GoStmt:
+				out = append(out, checkUnhandledCall(pkg, s.Call, "spawned ")...)
+			case *ast.AssignStmt:
+				out = append(out, checkBlankErrAssign(pkg, s)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkUnhandledCall reports a finding when the call returns an error
+// that the statement form cannot observe.
+func checkUnhandledCall(pkg *Package, call *ast.CallExpr, kind string) []Finding {
+	if !returnsError(pkg.Info, call) || neverFails(pkg, call) {
+		return nil
+	}
+	return []Finding{pkg.findingf(call, "droppederr",
+		"%scall %s returns an error that is silently dropped; handle it or annotate why it cannot matter",
+		kind, exprString(pkg.Fset, call.Fun))}
+}
+
+// checkBlankErrAssign flags `_ = f()`-style assignments where the
+// position assigned to blank carries an error.
+func checkBlankErrAssign(pkg *Package, s *ast.AssignStmt) []Finding {
+	var out []Finding
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		var t types.Type
+		var rhs ast.Expr
+		if len(s.Rhs) == len(s.Lhs) {
+			rhs = s.Rhs[i]
+			t = pkg.Info.TypeOf(rhs)
+		} else if len(s.Rhs) == 1 {
+			rhs = s.Rhs[0]
+			if tuple, ok := pkg.Info.TypeOf(rhs).(*types.Tuple); ok && i < tuple.Len() {
+				t = tuple.At(i).Type()
+			}
+		}
+		if t == nil || !types.Identical(t, errorType) {
+			continue
+		}
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && neverFails(pkg, call) {
+			continue
+		}
+		out = append(out, pkg.findingf(lhs, "droppederr",
+			"error result discarded with _ ; handle it or annotate why it cannot matter"))
+	}
+	return out
+}
+
+// returnsError reports whether any of the call's results is an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errorType)
+	}
+}
+
+// neverFails recognizes calls whose error result is documented to always
+// be nil, so forcing a check would only add noise.
+func neverFails(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Package-level calls: fmt printers.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkgName(pkg.Info, id, "fmt") {
+			name := sel.Sel.Name
+			switch name {
+			case "Print", "Printf", "Println":
+				return true // stdout; nothing actionable on failure
+			case "Fprint", "Fprintf", "Fprintln":
+				return len(call.Args) > 0 && neverFailingWriter(pkg, call.Args[0])
+			}
+			return false
+		}
+	}
+	// Method calls on never-failing receivers.
+	if s, ok := pkg.Info.Selections[sel]; ok {
+		recv := s.Recv()
+		if typeIs(recv, "strings.Builder", "bytes.Buffer") {
+			return true
+		}
+		if named, ok := recvNamed(recv); ok && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == "hash" {
+			return true // hash.Hash Write never returns an error (hash package docs)
+		}
+	}
+	return false
+}
+
+// neverFailingWriter reports whether the io.Writer argument is one whose
+// Write cannot fail: a *strings.Builder, a *bytes.Buffer, or the
+// process's own stdout/stderr.
+func neverFailingWriter(pkg *Package, arg ast.Expr) bool {
+	if typeIs(pkg.Info.TypeOf(arg), "strings.Builder", "bytes.Buffer") {
+		return true
+	}
+	if sel, ok := ast.Unparen(arg).(*ast.SelectorExpr); ok {
+		if obj := pkg.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil &&
+			obj.Pkg().Path() == "os" &&
+			(obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+			return true
+		}
+	}
+	return false
+}
+
+// recvNamed unwraps pointers and returns the receiver's named type.
+func recvNamed(t types.Type) (*types.Named, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return n, ok
+}

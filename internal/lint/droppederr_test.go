@@ -1,0 +1,93 @@
+package lint
+
+import "testing"
+
+func TestDroppedErrFlagsUnhandledErrors(t *testing.T) {
+	src := `package errs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+func fail() error { return errors.New("x") }
+
+func multi() (int, error) { return 0, errors.New("x") }
+
+func bad(w io.Writer) {
+	fail()
+	_ = fail()
+	defer fail()
+	go fail()
+	fmt.Fprintf(w, "to an arbitrary writer\n")
+	n, _ := multi()
+	_ = n
+}
+`
+	checkFixture(t, []Rule{DroppedErr{}}, "fixture/errs", src, []want{
+		{line: 14, rule: "droppederr", substr: "call fail"},
+		{line: 15, rule: "droppederr", substr: "discarded with _"},
+		{line: 16, rule: "droppederr", substr: "deferred call fail"},
+		{line: 17, rule: "droppederr", substr: "spawned call fail"},
+		{line: 18, rule: "droppederr", substr: "call fmt.Fprintf"},
+		{line: 19, rule: "droppederr", substr: "discarded with _"},
+	})
+}
+
+func TestDroppedErrExemptsNeverFailingWriters(t *testing.T) {
+	src := `package errs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+)
+
+func fail() error { return errors.New("x") }
+
+func good() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "markdown table row\n")
+	b.WriteString("cell")
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, "svg element")
+	buf.WriteByte('x')
+	fmt.Println("stdout chrome")
+	fmt.Fprintf(os.Stderr, "diagnostic\n")
+	h := fnv.New64a()
+	h.Write([]byte("seed material"))
+	if err := fail(); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}
+`
+	checkFixture(t, []Rule{DroppedErr{}}, "fixture/errs", src, nil)
+}
+
+func TestDroppedErrBlankInMultiAssignPositions(t *testing.T) {
+	src := `package errs
+
+import "errors"
+
+func pair() (error, int) { return errors.New("x"), 1 }
+
+func bad() int {
+	_, n := pair()
+	return n
+}
+
+func goodBlankNonError() {
+	m := map[string]int{}
+	_, ok := m["k"]
+	_ = ok
+}
+`
+	checkFixture(t, []Rule{DroppedErr{}}, "fixture/errs", src, []want{
+		{line: 8, rule: "droppederr", substr: "discarded with _"},
+	})
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEq flags == and != between computed floating-point operands.
+// Measured energies, powers, and times go through noise models and
+// iterative accumulation, so exact equality encodes an assumption the
+// methodology explicitly rejects (the paper resolves points only to its
+// 2.5% precision target). Allowed without annotation:
+//
+//   - comparisons where either operand is a compile-time constant
+//     (sentinel checks like spec.Confidence == 0 are exact by design);
+//   - the x != x NaN idiom;
+//   - comparisons inside tolerance helpers — functions whose name
+//     contains "approx", "almost", "close", "tol", or "nan".
+type FloatEq struct{}
+
+func (FloatEq) Name() string { return "floateq" }
+
+func (FloatEq) Doc() string {
+	return "no exact ==/!= between computed floats; compare with a tolerance (math.Abs(a-b) <= eps)"
+}
+
+var toleranceHelperSubstrings = []string{"approx", "almost", "close", "tol", "nan"}
+
+func isToleranceHelper(name string) bool {
+	lower := strings.ToLower(name)
+	for _, s := range toleranceHelperSubstrings {
+		if strings.Contains(lower, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (FloatEq) Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, f := range pkg.Files {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isToleranceHelper(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloatOperand(pkg.Info, be.X) || !isFloatOperand(pkg.Info, be.Y) {
+					return true
+				}
+				if isConstExpr(pkg.Info, be.X) || isConstExpr(pkg.Info, be.Y) {
+					return true
+				}
+				if isSelfCompare(pkg.Info, be.X, be.Y) {
+					return true // x != x is the NaN test
+				}
+				out = append(out, pkg.findingf(be, "floateq",
+					"exact %s between computed floats %s and %s; compare with a tolerance (math.Abs(a-b) <= eps)",
+					be.Op, exprString(pkg.Fset, be.X), exprString(pkg.Fset, be.Y)))
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isFloatOperand reports whether the expression's type is a (possibly
+// named) floating-point type.
+func isFloatOperand(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConstExpr reports whether the expression has a compile-time value.
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isSelfCompare reports whether x and y are the same plain identifier
+// (resolving to the same object).
+func isSelfCompare(info *types.Info, x, y ast.Expr) bool {
+	xi, ok1 := ast.Unparen(x).(*ast.Ident)
+	yi, ok2 := ast.Unparen(y).(*ast.Ident)
+	if !ok1 || !ok2 {
+		return false
+	}
+	ox, oy := info.Uses[xi], info.Uses[yi]
+	return ox != nil && ox == oy
+}

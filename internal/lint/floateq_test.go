@@ -1,0 +1,54 @@
+package lint
+
+import "testing"
+
+func TestFloatEqFlagsComputedComparisons(t *testing.T) {
+	src := `package floats
+
+func bad(a, b float64, xs []float32) bool {
+	if a == b {
+		return true
+	}
+	sum := a + b
+	return sum != b || xs[0] == xs[1]
+}
+`
+	checkFixture(t, []Rule{FloatEq{}}, "fixture/floats", src, []want{
+		{line: 4, rule: "floateq", substr: "exact =="},
+		{line: 8, rule: "floateq", substr: "sum"},
+		{line: 8, rule: "floateq", substr: "xs[0]"},
+	})
+}
+
+func TestFloatEqAllowsSentinelsToleranceHelpersAndNaN(t *testing.T) {
+	src := `package floats
+
+import "math"
+
+// Constant sentinels are exact by design.
+func sentinel(conf float64) bool { return conf == 0 || conf != 1.5 }
+
+// Tolerance helpers are where exact machinery is allowed to live.
+func almostEqual(a, b float64) bool { return a == b || math.Abs(a-b) < 1e-9 }
+func approxSame(a, b float64) bool  { return a == b }
+
+// x != x is the NaN idiom.
+func isNaNHand(x float64) bool { return x != x }
+
+// Integer comparisons are not this rule's business.
+func ints(a, b int) bool { return a == b }
+`
+	checkFixture(t, []Rule{FloatEq{}}, "fixture/floats", src, nil)
+}
+
+func TestFloatEqSeesThroughNamedFloatTypes(t *testing.T) {
+	src := `package floats
+
+type Joules float64
+
+func bad(a, b Joules) bool { return a == b }
+`
+	checkFixture(t, []Rule{FloatEq{}}, "fixture/floats", src, []want{
+		{line: 5, rule: "floateq", substr: "exact =="},
+	})
+}

@@ -1,0 +1,94 @@
+package lint
+
+import "testing"
+
+// The suppression fixture violates nodeterm twice; the directives
+// exercise both placements (own line, end of line).
+func TestIgnoreSuppressesWithReason(t *testing.T) {
+	src := `package meter
+
+import "time"
+
+func stamped() (int64, int64) {
+	//lint:ignore nodeterm fixture exercises the own-line directive placement
+	a := time.Now().Unix()
+	b := time.Now().Unix() //lint:ignore nodeterm fixture exercises the end-of-line placement
+	return a, b
+}
+`
+	sum := checkFixture(t, []Rule{NoDeterm{}}, "energyprop/internal/meter", src, nil)
+	if sum.Suppressed != 2 {
+		t.Errorf("Suppressed = %d, want 2", sum.Suppressed)
+	}
+}
+
+func TestIgnoreWithEmptyReasonIsAFinding(t *testing.T) {
+	src := `package meter
+
+import "time"
+
+func stamped() int64 {
+	//lint:ignore nodeterm
+	return time.Now().Unix()
+}
+`
+	// The violation is NOT suppressed (no reason), and the directive
+	// itself is reported.
+	checkFixture(t, []Rule{NoDeterm{}}, "energyprop/internal/meter", src, []want{
+		{line: 6, rule: "ignore", substr: "non-empty reason"},
+		{line: 7, rule: "nodeterm", substr: "time.Now"},
+	})
+}
+
+func TestIgnoreMissingRuleNameIsAFinding(t *testing.T) {
+	src := `package meter
+
+func fine() {
+	//lint:ignore
+}
+`
+	checkFixture(t, []Rule{NoDeterm{}}, "energyprop/internal/meter", src, []want{
+		{line: 4, rule: "ignore", substr: "needs a rule name"},
+	})
+}
+
+func TestIgnoreUnknownRuleIsAFinding(t *testing.T) {
+	src := `package meter
+
+func fine() {
+	//lint:ignore notarule because I said so
+}
+`
+	checkFixture(t, []Rule{NoDeterm{}}, "energyprop/internal/meter", src, []want{
+		{line: 4, rule: "ignore", substr: `unknown rule "notarule"`},
+	})
+}
+
+func TestStaleIgnoreIsAFinding(t *testing.T) {
+	src := `package meter
+
+func fine() int {
+	//lint:ignore nodeterm this line stopped violating the rule long ago
+	return 42
+}
+`
+	checkFixture(t, []Rule{NoDeterm{}}, "energyprop/internal/meter", src, []want{
+		{line: 4, rule: "ignore", substr: "stale //lint:ignore"},
+	})
+}
+
+func TestIgnoreOnlyCoversItsOwnRule(t *testing.T) {
+	src := `package meter
+
+import "time"
+
+func stamped() int64 {
+	//lint:ignore seedflow wrong rule: the violation below is nodeterm
+	return time.Now().Unix()
+}
+`
+	checkFixture(t, []Rule{NoDeterm{}, SeedFlow{}}, "energyprop/internal/meter", src, []want{
+		{line: 6, rule: "ignore", substr: "stale"},
+		{line: 7, rule: "nodeterm", substr: "time.Now"},
+	})
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// seedFlowScoped is the set of packages where per-point seeding happens.
+// Here a rand.NewSource argument IS the measurement's identity: PR 1's
+// order-independence proof rests on every meter seed being a pure
+// function of (campaign seed, BS, G, R), which the hashed configSeed
+// helper computes. A seed built from a loop index or slice position
+// reintroduces exactly the historical `spec.Seed + i*7919` bug.
+var seedFlowScoped = map[string]bool{
+	"energyprop/internal/campaign": true,
+	"energyprop/internal/meter":    true,
+}
+
+// SeedFlow checks that every rand.NewSource / rand.NewPCG argument in
+// campaign and meter code derives from a seed value (an identifier,
+// field, or helper whose name mentions "seed", such as configSeed), and
+// never references the index variable of an enclosing loop.
+type SeedFlow struct{}
+
+func (SeedFlow) Name() string { return "seedflow" }
+
+func (SeedFlow) Doc() string {
+	return "rand seeds in campaign/meter code must derive from the hashed (seed, BS, G, R) identity, never a loop index"
+}
+
+// seedSources are the math/rand constructors whose arguments carry seed
+// material.
+var seedSources = map[string]bool{
+	"NewSource": true, // math/rand
+	"NewPCG":    true, // math/rand/v2
+}
+
+func (SeedFlow) Check(pkg *Package) []Finding {
+	if !seedFlowScoped[pkg.Path] {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		walkStack(f.AST, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			name, ok := pkgCall(pkg.Info, call, "math/rand")
+			if !ok {
+				if name, ok = pkgCall(pkg.Info, call, "math/rand/v2"); !ok {
+					return
+				}
+			}
+			if !seedSources[name] || len(call.Args) == 0 {
+				return
+			}
+			loopVars := enclosingLoopVars(pkg.Info, stack)
+			for _, arg := range call.Args {
+				if id := loopVarOutsideSeedHelper(pkg.Info, arg, loopVars); id != nil {
+					out = append(out, pkg.findingf(arg, "seedflow",
+						"seed for rand.%s derives from loop variable %q, making the record depend on sweep order; derive it from the hashed (seed, BS, G, R) identity",
+						name, id.Name))
+					continue
+				}
+				if !mentionsSeed(arg) {
+					out = append(out, pkg.findingf(arg, "seedflow",
+						"seed for rand.%s is %s, which does not derive from a campaign seed; thread the seed (e.g. via the hashed configSeed helper) instead",
+						name, exprString(pkg.Fset, arg)))
+				}
+			}
+		})
+	}
+	return out
+}
+
+// enclosingLoopVars collects the objects of index/key/value variables
+// declared by for and range statements on the ancestor stack.
+func enclosingLoopVars(info *types.Info, stack []ast.Node) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	addIdent := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	for _, n := range stack {
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			if init, ok := s.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					addIdent(lhs)
+				}
+			}
+		case *ast.RangeStmt:
+			if s.Tok == token.DEFINE {
+				if s.Key != nil {
+					addIdent(s.Key)
+				}
+				if s.Value != nil {
+					addIdent(s.Value)
+				}
+			}
+		}
+	}
+	return vars
+}
+
+// loopVarOutsideSeedHelper returns the first identifier in expr that
+// resolves to one of the loop-variable objects, skipping the arguments
+// of seed-named mixing helpers: configSeed(seed, c) legitimately feeds
+// the loop *value* (the configuration identity) into the hash, and the
+// helper is the trust boundary. What it cannot tell apart is a helper
+// handed the raw index as its identity — that stays a review concern.
+func loopVarOutsideSeedHelper(info *types.Info, expr ast.Expr, objs map[types.Object]bool) *ast.Ident {
+	if len(objs) == 0 {
+		return nil
+	}
+	var found *ast.Ident
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if c, ok := n.(*ast.CallExpr); ok && calleeMentionsSeed(c) {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && objs[obj] {
+				found = id
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// calleeMentionsSeed reports whether the call's function name contains
+// "seed" (configSeed, DeriveSeed, ...).
+func calleeMentionsSeed(c *ast.CallExpr) bool {
+	var name string
+	switch fun := ast.Unparen(c.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	return strings.Contains(strings.ToLower(name), "seed")
+}
+
+// mentionsSeed reports whether the expression references anything
+// seed-named: a variable, parameter, struct field, or helper function
+// (configSeed) whose name contains "seed".
+func mentionsSeed(expr ast.Expr) bool {
+	return mentionsIdentLike(expr, func(name string) bool {
+		return strings.Contains(strings.ToLower(name), "seed")
+	})
+}

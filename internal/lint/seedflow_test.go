@@ -1,0 +1,89 @@
+package lint
+
+import "testing"
+
+func TestSeedFlowFlagsLoopDerivedSeeds(t *testing.T) {
+	src := `package campaign
+
+import "math/rand"
+
+// The historical bug: seeding from the enumeration index makes the
+// record depend on sweep order.
+func bad(n int) []*rand.Rand {
+	out := make([]*rand.Rand, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, rand.New(rand.NewSource(int64(i)*7919)))
+	}
+	return out
+}
+
+func badRange(configs []int) []*rand.Rand {
+	var out []*rand.Rand
+	for idx := range configs {
+		out = append(out, rand.New(rand.NewSource(int64(idx))))
+	}
+	return out
+}
+`
+	checkFixture(t, []Rule{SeedFlow{}}, "energyprop/internal/campaign", src, []want{
+		{line: 10, rule: "seedflow", substr: `loop variable "i"`},
+		{line: 18, rule: "seedflow", substr: `loop variable "idx"`},
+	})
+}
+
+func TestSeedFlowFlagsSeedlessSources(t *testing.T) {
+	src := `package meter
+
+import "math/rand"
+
+func bad() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+`
+	checkFixture(t, []Rule{SeedFlow{}}, "energyprop/internal/meter", src, []want{
+		{line: 6, rule: "seedflow", substr: "does not derive from a campaign seed"},
+	})
+}
+
+func TestSeedFlowAllowsSeedDerivedSources(t *testing.T) {
+	src := `package campaign
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// configSeed mirrors the real helper: the hashed (seed, identity) mix.
+func configSeed(seed int64, bs, g, r int) int64 {
+	h := fnv.New64a()
+	_ = seed
+	return int64(h.Sum64()) ^ seed ^ int64(bs+g+r)
+}
+
+func good(seed int64, configs []int) []*rand.Rand {
+	var out []*rand.Rand
+	for _, bs := range configs {
+		// Loop value feeds the hash through the helper, whose argument
+		// still carries the campaign seed: allowed.
+		out = append(out, rand.New(rand.NewSource(configSeed(seed, bs, 1, 1))))
+	}
+	return out
+}
+
+func goodDirect(spec struct{ Seed int64 }) *rand.Rand {
+	return rand.New(rand.NewSource(spec.Seed))
+}
+`
+	checkFixture(t, []Rule{SeedFlow{}}, "energyprop/internal/campaign", src, nil)
+}
+
+func TestSeedFlowIgnoresOutOfScopePackages(t *testing.T) {
+	// stats test helpers and examples may seed however they like.
+	src := `package stats
+
+import "math/rand"
+
+func helper() *rand.Rand { return rand.New(rand.NewSource(7)) }
+`
+	checkFixture(t, []Rule{SeedFlow{}}, "energyprop/internal/stats", src, nil)
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// TestTreeIsClean runs the full rule registry over the real source tree.
+// Because it lives inside `go test ./...`, tier-1 automatically enforces
+// the determinism and measurement contracts on every PR: any new
+// wall-clock read, unseeded rand, loop-derived seed, exact float
+// comparison, dropped error, or uncancellable fan-out fails the build
+// with a file:line finding.
+func TestTreeIsClean(t *testing.T) {
+	root, module, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := NewLoader(root, module).LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the walker is missing most of the tree", len(pkgs))
+	}
+	findings, sum := Run(pkgs, AllRules())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	t.Logf("epvet: %d packages, %d files, %d findings, %d suppressed",
+		sum.Packages, sum.Files, sum.Reported, sum.Suppressed)
+}
+
+// TestModuleStaysStdlibOnly pins the repo's no-dependencies invariant:
+// the lint engine itself, the simulators, and the service must keep
+// building offline from a bare Go toolchain. CI repeats this check as a
+// workflow step so it fails loudly even if tests are skipped.
+func TestModuleStaysStdlibOnly(t *testing.T) {
+	root, _, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := regexp.MustCompile(`(?m)^\s*require\b.*$`).Find(data); m != nil {
+		t.Fatalf("go.mod gained a dependency (%q); the module is stdlib-only by design — vendor the idea, not the package", m)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.sum")); err == nil {
+		t.Fatal("go.sum exists; the module must not resolve external modules")
+	}
+}

@@ -167,6 +167,7 @@ func insertPareto(set []partial, c partial) []partial {
 	for _, s := range set {
 		if (s.time <= c.time && s.energy < c.energy) ||
 			(s.time < c.time && s.energy <= c.energy) ||
+			//lint:ignore floateq duplicate detection must be exact: a tolerance would merge distinct near-optimal partials and shrink the front
 			(s.time == c.time && s.energy == c.energy) {
 			// c is dominated (or duplicate): keep the set unchanged.
 			return set
@@ -192,6 +193,7 @@ func sortDistributions(ds []Distribution) {
 }
 
 func less(a, b Distribution) bool {
+	//lint:ignore floateq exact tie-break keeps the distribution sort total and deterministic
 	if a.TimeS != b.TimeS {
 		return a.TimeS < b.TimeS
 	}

@@ -80,6 +80,7 @@ func Ranks(points []Point) [][]Point {
 			}
 		}
 		sort.Slice(front, func(i, j int) bool {
+			//lint:ignore floateq exact tie-break keeps the front ordering total and deterministic
 			if front[i].Time != front[j].Time {
 				return front[i].Time < front[j].Time
 			}

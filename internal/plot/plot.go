@@ -85,6 +85,7 @@ func (a *axis) pos(v float64) float64 {
 	if a.log {
 		lo, hi, x = math.Log10(lo), math.Log10(hi), math.Log10(v)
 	}
+	//lint:ignore floateq degenerate-range guard: exact equality is precisely the division-by-zero case below
 	if hi == lo {
 		return (a.pixLo + a.pixHi) / 2
 	}

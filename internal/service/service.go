@@ -262,6 +262,7 @@ func decodeJSON(r *http.Request, dst any) error {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
+	//lint:ignore droppederr the status line is already sent; an encode failure here means the client went away
 	_ = json.NewEncoder(w).Encode(v)
 }
 

@@ -101,12 +101,11 @@ func Measure(spec MeasureSpec, observe func() (float64, error)) (*Measurement, e
 		raw.Add(x)
 		s, rejected := effective()
 		if s.N() >= spec.MinRuns && s.WithinPrecision(spec.Confidence, spec.Precision) {
-			return finishMeasurement(spec, s, rejected)
+			return finishMeasurement(spec, s, rejected), nil
 		}
 	}
 	s, rejected := effective()
-	m, _ := finishMeasurement(spec, s, rejected)
-	return m, fmt.Errorf("stats: %d runs: %w", raw.N(), ErrNoConvergence)
+	return finishMeasurement(spec, s, rejected), fmt.Errorf("stats: %d runs: %w", raw.N(), ErrNoConvergence)
 }
 
 func validateSpec(spec *MeasureSpec) error {
@@ -128,7 +127,9 @@ func validateSpec(spec *MeasureSpec) error {
 	return nil
 }
 
-func finishMeasurement(spec MeasureSpec, s *Sample, rejected int) (*Measurement, error) {
+// finishMeasurement assembles the Measurement from the effective sample;
+// it is total (a half-width that cannot be computed is reported as 0).
+func finishMeasurement(spec MeasureSpec, s *Sample, rejected int) *Measurement {
 	hw, err := s.ConfidenceHalfWidth(spec.Confidence)
 	if err != nil {
 		hw = 0
@@ -145,5 +146,5 @@ func finishMeasurement(spec MeasureSpec, s *Sample, rejected int) (*Measurement,
 			m.Normality = res
 		}
 	}
-	return m, nil
+	return m
 }
