@@ -5,7 +5,8 @@
 //
 //	epmeterd -addr :8080
 //	curl localhost:8080/devices
-//	curl -d '{"device":"p100","workload":{"N":10240,"Products":8},"config":{"BS":24,"G":1,"R":8}}' localhost:8080/measure
+//	curl -d '{"device":"p100","workload":{"N":10240,"Products":8},"config":"bs=24/g=1/r=8"}' localhost:8080/measure
+//	curl -d '{"device":"haswell","workload":{"N":96,"Products":1}}' localhost:8080/sweep
 package main
 
 import (

@@ -10,15 +10,25 @@
 //	epstudy -svgdir figs/
 //	epstudy -run all -markdown report.md
 //	epstudy -html report.html
+//	epstudy -device haswell -n 96
+//
+// With -device, epstudy runs a measured campaign on any registered
+// backend (k40c, p100, haswell, legacy-xeon, hetero) through the same
+// campaign engine the built-in experiments use, and renders the per-
+// configuration measurements as a table (or CSV with -csv).
 package main
 
 import (
+	"context"
 	"flag"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 
+	"energyprop/internal/campaign"
 	"energyprop/internal/cli"
+	"energyprop/internal/device"
 	"energyprop/internal/experiment"
 )
 
@@ -39,6 +49,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	svgDir := fs.String("svgdir", "", "also render the paper's figures as SVGs into this directory")
 	markdown := fs.String("markdown", "", "write a full markdown report to this file ('-' for stdout)")
 	html := fs.String("html", "", "write a self-contained HTML report (tables + inline figures) to this file")
+	devName := fs.String("device", "", "run a measured campaign on this registered device instead of a named experiment")
+	app := fs.String("app", "dgemm", "application family for -device campaigns: dgemm or fft")
+	n := fs.Int("n", 4096, "matrix/signal dimension N for -device campaigns")
+	products := fs.Int("products", 2, "total problem instances for -device campaigns")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -56,6 +70,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var ids []string
 	if *runID != "" && *runID != "all" {
 		ids = []string{*runID}
+	}
+
+	if *devName != "" {
+		t, err := runDeviceCampaign(*devName, *app, *n, *products, opt)
+		if err != nil {
+			cli.Errorf(stderr, "epstudy: %v\n", err)
+			return 1
+		}
+		if *csv {
+			out.Printf("# %s\n%s\n", t.Title, t.CSV())
+		} else {
+			out.Println(t.Render())
+		}
+		return done()
 	}
 
 	if *html != "" {
@@ -137,6 +165,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return done()
+}
+
+// runDeviceCampaign measures every configuration of a registered device
+// through the same campaign.RunConfigs path the built-in experiments and
+// the measurement service use, and tabulates the results.
+func runDeviceCampaign(name, app string, n, products int, opt experiment.Options) (*experiment.Table, error) {
+	dev, err := device.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	w := device.Workload{App: app, N: n, Products: products}.Normalized()
+	configs, err := dev.Configs(w)
+	if err != nil {
+		return nil, err
+	}
+	spec := campaign.DefaultSpec(opt.Seed)
+	spec.Workers = opt.Workers
+	res, err := campaign.RunConfigs(context.Background(), dev, w, configs, spec)
+	if err != nil {
+		return nil, err
+	}
+	t := &experiment.Table{
+		Title:   fmt.Sprintf("Measured campaign on %s (%s), %s", res.Device, res.Kind, w),
+		Columns: []string{"config", "key", "seconds", "measured_j", "ci_halfwidth_j", "runs"},
+	}
+	for _, p := range res.Points {
+		t.AddRow(p.Config.String(), p.Config.Key(),
+			fmt.Sprintf("%.4f", p.TrueSeconds),
+			fmt.Sprintf("%.1f", p.MeasuredEnergyJ),
+			fmt.Sprintf("%.2f", p.HalfWidthJ),
+			fmt.Sprintf("%d", p.Runs))
+	}
+	t.AddNote("campaign cost: %d total runs across %d configurations (seed %d)",
+		res.TotalRuns, len(res.Points), opt.Seed)
+	return t, nil
 }
 
 // writeSVGs renders the figure images into dir.

@@ -67,6 +67,43 @@ func TestUnknownExperimentFails(t *testing.T) {
 	}
 }
 
+func TestDeviceCampaignDeterministic(t *testing.T) {
+	run := func() string {
+		out, _, code := runCLI(t, "-device", "haswell", "-n", "48", "-products", "1", "-seed", "7")
+		if code != 0 {
+			t.Fatalf("exit %d", code)
+		}
+		return out
+	}
+	first := run()
+	if !strings.Contains(first, "Measured campaign on") || !strings.Contains(first, "contiguous/p=") {
+		t.Errorf("campaign table missing:\n%s", first)
+	}
+	if second := run(); first != second {
+		t.Error("repeated -device run with the same seed differs")
+	}
+}
+
+func TestDeviceCampaignCSV(t *testing.T) {
+	out, _, code := runCLI(t, "-device", "haswell", "-n", "48", "-products", "1", "-csv")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "config,key,seconds,measured_j,ci_halfwidth_j,runs") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+}
+
+func TestDeviceCampaignUnknownDevice(t *testing.T) {
+	_, errOut, code := runCLI(t, "-device", "gtx480")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "unknown device") || !strings.Contains(errOut, "haswell") {
+		t.Errorf("stderr %q should list known devices", errOut)
+	}
+}
+
 func TestBadFlagFails(t *testing.T) {
 	_, _, code := runCLI(t, "-definitely-not-a-flag")
 	if code != 2 {

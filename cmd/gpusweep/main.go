@@ -1,13 +1,17 @@
-// Command gpusweep runs the paper's matrix-multiplication application for
-// every valid (BS, G, R) configuration on a simulated GPU and emits one
-// CSV row per configuration, optionally followed by the Pareto-front and
-// trade-off analysis (Figs 2, 7, 8) and a persisted JSON record.
+// Command gpusweep runs a workload's full configuration space on any
+// registered device — GPU (BS, G, R), CPU (threadgroup decompositions),
+// or the heterogeneous ensemble (unit distributions) — using the
+// model-true simulators, and emits one CSV row per configuration,
+// optionally followed by the Pareto-front and trade-off analysis
+// (Figs 2, 7, 8) and a persisted JSON record.
 //
 // Usage:
 //
 //	gpusweep -device p100 -n 10240 -products 8 -fronts
+//	gpusweep -device haswell -n 4096 -fronts
+//	gpusweep -device hetero -n 1024 -products 8
 //	gpusweep -device k40c -n 8704 -json sweep.json
-//	gpusweep -device p100 -workers 8
+//	gpusweep -list
 package main
 
 import (
@@ -18,7 +22,8 @@ import (
 	"os/signal"
 
 	"energyprop/internal/cli"
-	"energyprop/internal/gpusim"
+	"energyprop/internal/device"
+	"energyprop/internal/parallel"
 	"energyprop/internal/pareto"
 	"energyprop/internal/store"
 )
@@ -35,39 +40,16 @@ func main() {
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gpusweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	device := fs.String("device", "p100", "device to simulate: k40c or p100")
-	n := fs.Int("n", 10240, "matrix dimension N")
-	products := fs.Int("products", 8, "total matrix products (G·R)")
+	devName := fs.String("device", "p100", "registered device to sweep (see -list)")
+	app := fs.String("app", "dgemm", "application family: dgemm or fft")
+	n := fs.Int("n", 10240, "matrix/signal dimension N")
+	products := fs.Int("products", 8, "total problem instances (G·R on a GPU)")
 	fronts := fs.Bool("fronts", false, "print Pareto fronts and trade-offs after the CSV")
 	jsonOut := fs.String("json", "", "also persist the sweep as JSON to this file")
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = one per CPU)")
+	list := fs.Bool("list", false, "list the registered devices and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
-	}
-
-	var dev *gpusim.Device
-	switch *device {
-	case "k40c":
-		dev = gpusim.NewK40c()
-	case "p100":
-		dev = gpusim.NewP100()
-	default:
-		cli.Errorf(stderr, "gpusweep: unknown device %q (want k40c or p100)\n", *device)
-		return 2
-	}
-
-	workload := gpusim.MatMulWorkload{N: *n, Products: *products}
-	results, err := dev.SweepContext(ctx, workload, gpusim.SweepOptions{Workers: *workers})
-	if err != nil {
-		cli.Errorf(stderr, "gpusweep: %v\n", err)
-		return 1
-	}
-
-	if *jsonOut != "" {
-		if err := saveJSON(*jsonOut, dev.Spec.Name, workload, results); err != nil {
-			cli.Errorf(stderr, "gpusweep: writing %s: %v\n", *jsonOut, err)
-			return 1
-		}
 	}
 
 	out := cli.NewWriter(stdout)
@@ -80,13 +62,57 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	out.Println("config,bs,g,r,seconds,dyn_power_w,dyn_energy_j,gflops,fetch_active")
-	points := make([]pareto.Point, 0, len(results))
-	for _, r := range results {
-		out.Printf("%q,%d,%d,%d,%.4f,%.2f,%.1f,%.1f,%v\n",
-			r.Config.String(), r.Config.BS, r.Config.G, r.Config.R,
-			r.Seconds, r.DynPowerW, r.DynEnergyJ, r.GFLOPs, r.FetchEngineActive)
-		points = append(points, pareto.Point{Label: r.Config.String(), Time: r.Seconds, Energy: r.DynEnergyJ})
+
+	if *list {
+		for _, name := range device.List() {
+			d, err := device.Open(name)
+			if err != nil {
+				cli.Errorf(stderr, "gpusweep: %v\n", err)
+				return 1
+			}
+			out.Printf("%-12s %-7s %s\n", name, d.Kind(), d.Spec().CatalogName)
+		}
+		return done()
+	}
+
+	dev, err := device.Open(*devName)
+	if err != nil {
+		cli.Errorf(stderr, "gpusweep: %v\n", err)
+		return 2
+	}
+	// Model-true sweeps want the constant analytic profile where the
+	// backend distinguishes it from the traced one.
+	if ap, ok := dev.(device.AnalyticProvider); ok {
+		dev = ap.Analytic()
+	}
+
+	workload := device.Workload{App: *app, N: *n, Products: *products}.Normalized()
+	configs, err := dev.Configs(workload)
+	if err != nil {
+		cli.Errorf(stderr, "gpusweep: %v\n", err)
+		return 1
+	}
+	outcomes, err := parallel.Map(ctx, *workers, len(configs), func(ctx context.Context, i int) (*device.Outcome, error) {
+		return dev.Run(ctx, workload, configs[i])
+	})
+	if err != nil {
+		cli.Errorf(stderr, "gpusweep: %v\n", err)
+		return 1
+	}
+
+	if *jsonOut != "" {
+		if err := saveJSON(*jsonOut, dev, workload, configs, outcomes); err != nil {
+			cli.Errorf(stderr, "gpusweep: writing %s: %v\n", *jsonOut, err)
+			return 1
+		}
+	}
+
+	out.Println("config,seconds,dyn_power_w,dyn_energy_j")
+	points := make([]pareto.Point, 0, len(configs))
+	for i, o := range outcomes {
+		out.Printf("%s,%.4f,%.2f,%.1f\n",
+			configs[i].Key(), o.TrueSeconds, o.TrueEnergyJ/o.TrueSeconds, o.TrueEnergyJ)
+		points = append(points, pareto.Point{Label: configs[i].String(), Time: o.TrueSeconds, Energy: o.TrueEnergyJ})
 	}
 
 	if !*fronts {
@@ -114,17 +140,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	return done()
 }
 
-// saveJSON persists the sweep through internal/store.
-func saveJSON(path, device string, w gpusim.MatMulWorkload, results []*gpusim.Result) error {
-	rec, err := store.FromResults(device, w, results)
-	if err != nil {
-		return err
+// saveJSON persists the model-true sweep as a device-generic campaign
+// record through internal/store.
+func saveJSON(path string, dev device.Device, w device.Workload, configs []device.Config, outcomes []*device.Outcome) error {
+	rec := &store.CampaignRecord{
+		Version:  store.FormatVersion,
+		Device:   dev.Spec().CatalogName,
+		Kind:     dev.Kind(),
+		Workload: w,
+	}
+	for i, o := range outcomes {
+		rec.Results = append(rec.Results, store.MeasuredPoint{
+			Config:     configs[i].Key(),
+			Label:      configs[i].String(),
+			Seconds:    o.TrueSeconds,
+			DynPowerW:  o.TrueEnergyJ / o.TrueSeconds,
+			DynEnergyJ: o.TrueEnergyJ,
+		})
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	err = store.Save(f, rec)
+	err = store.SaveCampaign(f, rec)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}

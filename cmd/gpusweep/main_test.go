@@ -24,11 +24,56 @@ func TestSweepCSV(t *testing.T) {
 		t.Fatalf("exit %d", code)
 	}
 	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if lines[0] != "config,bs,g,r,seconds,dyn_power_w,dyn_energy_j,gflops,fetch_active" {
+	if lines[0] != "config,seconds,dyn_power_w,dyn_energy_j" {
 		t.Errorf("header %q", lines[0])
 	}
 	if len(lines) < 30 {
 		t.Errorf("%d rows, want a full sweep", len(lines)-1)
+	}
+	if !strings.HasPrefix(lines[1], "bs=") {
+		t.Errorf("first row %q should start with a GPU config key", lines[1])
+	}
+}
+
+func TestSweepCPUDevice(t *testing.T) {
+	out, _, code := runCLI(t, "-device", "haswell", "-n", "96", "-products", "1", "-fronts")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "config,seconds,dyn_power_w,dyn_energy_j" {
+		t.Errorf("header %q", lines[0])
+	}
+	if !strings.Contains(out, "contiguous/p=") || !strings.Contains(out, "cyclic/p=") {
+		t.Error("CPU decomposition keys missing from CSV")
+	}
+	if !strings.Contains(out, "# rank 0 (") {
+		t.Error("front analysis missing")
+	}
+}
+
+func TestSweepHeteroDevice(t *testing.T) {
+	out, _, code := runCLI(t, "-device", "hetero", "-n", "256", "-products", "3")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "haswell=") || !strings.Contains(out, "p100=") {
+		t.Errorf("hetero distribution keys missing:\n%s", out)
+	}
+	// Compositions of 3 units over 3 processors: C(5,2) = 10 rows.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 11 {
+		t.Errorf("%d lines, want header + 10 distributions", len(lines))
+	}
+}
+
+func TestSweepFFTApp(t *testing.T) {
+	out, _, code := runCLI(t, "-device", "haswell", "-app", "fft", "-n", "512", "-products", "1")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "contiguous/p=") {
+		t.Errorf("FFT sweep rows missing:\n%s", out)
 	}
 }
 
@@ -56,12 +101,24 @@ func TestSweepJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	rec, err := store.Load(f)
+	rec, err := store.LoadCampaign(f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rec.Device != "NVIDIA P100 PCIe" || rec.Workload.N != 4096 {
+	if rec.Device != "NVIDIA P100 PCIe" || rec.Kind != "gpu" || rec.Workload.N != 4096 {
 		t.Errorf("record %+v", rec)
+	}
+}
+
+func TestListDevices(t *testing.T) {
+	out, _, code := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, name := range []string{"k40c", "p100", "haswell", "legacy-xeon", "hetero"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %q:\n%s", name, out)
+		}
 	}
 }
 
@@ -72,6 +129,10 @@ func TestUnknownDevice(t *testing.T) {
 	}
 	if !strings.Contains(errOut, "unknown device") {
 		t.Errorf("stderr %q", errOut)
+	}
+	// The error enumerates the registered devices.
+	if !strings.Contains(errOut, "haswell") {
+		t.Errorf("stderr %q does not list known devices", errOut)
 	}
 }
 

@@ -65,14 +65,15 @@ func main() {
 	}
 }
 
-// readPoints parses configuration outcomes from CSV. Two layouts are
+// readPoints parses configuration outcomes from CSV. Three layouts are
 // accepted (auto-detected per line, header tolerated):
 //
-//   - plain:   label,time,energy
-//   - gpusweep: label,bs,g,r,seconds,dyn_power_w,dyn_energy_j,...
+//   - plain:    label,time,energy
+//   - gpusweep: config,seconds,dyn_power_w,dyn_energy_j
+//   - legacy:   label,bs,g,r,seconds,dyn_power_w,dyn_energy_j,...
 //
-// The first field may be double-quoted (gpusweep quotes its config
-// labels, which contain commas).
+// The first field may be double-quoted (older sweeps quoted config
+// labels containing commas; current config keys need no quoting).
 func readPoints(r io.Reader) ([]pareto.Point, error) {
 	var out []pareto.Point
 	sc := bufio.NewScanner(r)
@@ -91,8 +92,11 @@ func readPoints(r io.Reader) ([]pareto.Point, error) {
 		var tIdx, eIdx int
 		switch {
 		case len(fields) >= 6:
-			// gpusweep layout: bs,g,r,seconds,power,energy,...
+			// legacy sweep layout: bs,g,r,seconds,power,energy,...
 			tIdx, eIdx = 3, 5
+		case len(fields) == 3:
+			// gpusweep layout: seconds,power,energy after the config key
+			tIdx, eIdx = 0, 2
 		case len(fields) >= 2:
 			tIdx, eIdx = 0, 1
 		default:

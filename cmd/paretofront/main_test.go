@@ -51,6 +51,25 @@ func TestReadPointsGpusweepLayout(t *testing.T) {
 	}
 }
 
+func TestReadPointsDeviceSweepLayout(t *testing.T) {
+	in := "config,seconds,dyn_power_w,dyn_energy_j\n" +
+		"bs=32/g=1/r=8,7.4696,178.06,1330.0\n" +
+		"contiguous/p=2/t=12,3.2,40.5,129.6\n"
+	pts, err := readPoints(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("parsed %d points, want 2", len(pts))
+	}
+	if pts[0].Label != "bs=32/g=1/r=8" || pts[0].Time != 7.4696 || pts[0].Energy != 1330.0 {
+		t.Errorf("device sweep layout parsed as %+v", pts[0])
+	}
+	if pts[1].Label != "contiguous/p=2/t=12" || pts[1].Energy != 129.6 {
+		t.Errorf("CPU row parsed as %+v", pts[1])
+	}
+}
+
 func TestReadPointsSkipsCommentsAndBlank(t *testing.T) {
 	in := "# comment\n\nA,1,2\n"
 	pts, err := readPoints(strings.NewReader(in))

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"testing"
+)
+
+// TestCPUCampaignSmoke compiles and runs the example end to end ("go run .")
+// and asserts it exits 0 with its expected report on stdout.
+func TestCPUCampaignSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-run smoke test in -short mode")
+	}
+	out, err := exec.Command("go", "run", ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("example exited non-zero: %v\n%s", err, out)
+	}
+	if len(bytes.TrimSpace(out)) == 0 {
+		t.Fatal("example produced no output")
+	}
+	for _, want := range []string{"Haswell", "campaign:", "Pareto front"} {
+		if !bytes.Contains(out, []byte(want)) {
+			t.Errorf("output missing %s:\n%s", want, out)
+		}
+	}
+}

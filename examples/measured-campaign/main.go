@@ -15,13 +15,18 @@ import (
 
 	"energyprop"
 	"energyprop/internal/campaign"
-	"energyprop/internal/gpusim"
+	"energyprop/internal/device"
 	"energyprop/internal/store"
 )
 
 func main() {
-	dev := gpusim.NewP100()
-	w := gpusim.MatMulWorkload{N: 10240, Products: 8}
+	// Any registered backend works here — swap "p100" for "haswell" or
+	// "hetero" and the rest of the program is unchanged.
+	dev, err := device.Open("p100")
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := device.Workload{N: 10240, Products: 8}
 
 	// The campaign fans configurations out across a bounded worker pool;
 	// per-config seeds are derived from the configuration identity, so
@@ -34,7 +39,7 @@ func main() {
 		}
 	}
 	fmt.Printf("measuring every configuration of %d products of %dx%d on %s (%d workers)...\n",
-		w.Products, w.N, w.N, dev.Spec.Name, spec.Workers)
+		w.Products, w.N, w.N, dev.Spec().CatalogName, spec.Workers)
 	res, err := campaign.Run(dev, w, spec)
 	if err != nil {
 		log.Fatal(err)
@@ -48,11 +53,11 @@ func main() {
 		log.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := store.Save(&buf, rec); err != nil {
+	if err := store.SaveCampaign(&buf, rec); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("persisted %d bytes of JSON\n", buf.Len())
-	loaded, err := store.Load(&buf)
+	loaded, err := store.LoadCampaign(&buf)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,9 +1,10 @@
 // measurement-service starts the HTTP measurement daemon (the HCLWattsUp
 // as-a-lab-service analog) on a loopback port, then acts as its own
-// client: it lists the devices, requests a statistically converged
-// measurement of one configuration, and fetches a full measured sweep as
-// a JSON record — the workflow a measurement script would run against
-// cmd/epmeterd.
+// client: it lists the registered devices, requests a statistically
+// converged measurement of one configuration (by its canonical key), and
+// fetches full measured sweeps — one GPU, one CPU — as JSON records
+// through the same device-generic pipeline, the workflow a measurement
+// script would run against cmd/epmeterd.
 package main
 
 import (
@@ -15,7 +16,7 @@ import (
 	"net/http"
 
 	"energyprop"
-	"energyprop/internal/gpusim"
+	"energyprop/internal/device"
 	"energyprop/internal/service"
 	"energyprop/internal/store"
 )
@@ -36,7 +37,7 @@ func main() {
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("measurement service on %s\n\n", base)
 
-	// 1. Device catalog.
+	// 1. Device catalog — every backend the registry knows about.
 	resp, err := http.Get(base + "/devices")
 	if err != nil {
 		log.Fatal(err)
@@ -47,20 +48,43 @@ func main() {
 	}
 	closeBody(resp)
 	for _, d := range devices {
-		fmt.Printf("device %-6v %v (TDP %v W)\n", d["name"], d["catalog_name"], d["tdp_watts"])
+		fmt.Printf("device %-12v %-7v %v\n", d["name"], d["kind"], d["catalog_name"])
 	}
 
-	// 2. One converged measurement.
-	measureReq, err := json.Marshal(service.MeasureRequest{
+	// 2. One converged measurement, addressed by the config's canonical key.
+	meas := measure(base, service.MeasureRequest{
 		Device:   "p100",
-		Workload: gpusim.MatMulWorkload{N: 10240, Products: 8},
-		Config:   gpusim.MatMulConfig{BS: 24, G: 1, R: 8},
+		Workload: device.Workload{N: 10240, Products: 8},
+		Config:   "bs=24/g=1/r=8",
 		Seed:     1,
 	})
+	fmt.Printf("\nmeasured %s on %s: %.1f J ± %.2f J over %d runs (t=%.3fs)\n",
+		meas.Config, meas.Device, meas.MeasuredEnergyJ, meas.HalfWidthJ, meas.Runs, meas.Seconds)
+
+	// 3. Full measured sweeps, analyzed client-side. The same request
+	// shape drives any backend; only the device name changes. The workers
+	// field fans the campaign out on the server without changing the record.
+	for _, req := range []service.SweepRequest{
+		{Device: "p100", Workload: device.Workload{N: 10240, Products: 8}, Seed: 1, Workers: 8},
+		{Device: "haswell", Workload: device.Workload{N: 96, Products: 1}, Seed: 1, Workers: 8},
+	} {
+		rec := sweep(base, req)
+		front := energyprop.Front(rec.Points())
+		fmt.Printf("\nsweep of %d measured configurations on %s (%s); front:\n",
+			len(rec.Results), rec.Device, rec.Kind)
+		for _, p := range front {
+			fmt.Printf("  %-22s t=%7.3fs E=%8.1fJ\n", p.Label, p.Time, p.Energy)
+		}
+	}
+}
+
+// measure posts one /measure request and decodes the reply.
+func measure(base string, req service.MeasureRequest) service.MeasureResponse {
+	body, err := json.Marshal(req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	resp, err = http.Post(base+"/measure", "application/json", bytes.NewReader(measureReq))
+	resp, err := http.Post(base+"/measure", "application/json", bytes.NewReader(body))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,34 +93,25 @@ func main() {
 		log.Fatal(err)
 	}
 	closeBody(resp)
-	fmt.Printf("\nmeasured %s on %s: %.1f J ± %.2f J over %d runs (t=%.3fs)\n",
-		meas.Config, meas.Device, meas.MeasuredEnergyJ, meas.HalfWidthJ, meas.Runs, meas.Seconds)
+	return meas
+}
 
-	// 3. A full measured sweep, analyzed client-side. The workers field
-	// fans the campaign out on the server without changing the record.
-	sweepReq, err := json.Marshal(service.SweepRequest{
-		Device:   "p100",
-		Workload: gpusim.MatMulWorkload{N: 10240, Products: 8},
-		Seed:     1,
-		Workers:  8,
-	})
+// sweep posts one /sweep request and decodes the campaign record.
+func sweep(base string, req service.SweepRequest) *store.CampaignRecord {
+	body, err := json.Marshal(req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	resp, err = http.Post(base+"/sweep", "application/json", bytes.NewReader(sweepReq))
+	resp, err := http.Post(base+"/sweep", "application/json", bytes.NewReader(body))
 	if err != nil {
 		log.Fatal(err)
 	}
-	rec, err := store.Load(resp.Body)
+	rec, err := store.LoadCampaign(resp.Body)
 	closeBody(resp)
 	if err != nil {
 		log.Fatal(err)
 	}
-	front := energyprop.Front(rec.Points())
-	fmt.Printf("\nsweep of %d measured configurations; front:\n", len(rec.Results))
-	for _, p := range front {
-		fmt.Printf("  %-22s t=%7.3fs E=%8.1fJ\n", p.Label, p.Time, p.Energy)
-	}
+	return rec
 }
 
 // closeBody closes a response body whose payload has been fully decoded.

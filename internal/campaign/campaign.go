@@ -1,19 +1,18 @@
 // Package campaign runs full measurement campaigns the way the paper's
 // experiments were actually conducted: every configuration of a workload
-// is executed (through the block scheduler's time-varying power trace),
-// sampled by the WattsUp-style meter with noise, and repeated until the
-// paper's statistical criterion is met (95% confidence, 2.5% precision),
+// is executed on a device (GPU, CPU, or heterogeneous ensemble — any
+// backend behind the internal/device interface), sampled by the
+// WattsUp-style meter with noise, and repeated until the paper's
+// statistical criterion is met (95% confidence, 2.5% precision),
 // producing a persistable record of *measured* — not model-true — values.
 package campaign
 
 import (
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 
-	"energyprop/internal/gpusim"
+	"energyprop/internal/device"
 	"energyprop/internal/meter"
 	"energyprop/internal/parallel"
 	"energyprop/internal/stats"
@@ -32,14 +31,11 @@ type Spec struct {
 	// Measure.RejectOutliersK for the robust pipeline.
 	SpikeProb float64
 	// Seed drives the meter noise deterministically. Each configuration's
-	// meter seed is derived by hashing (Seed, BS, G, R), so a point's
-	// measurement is a pure function of the campaign seed and the
-	// configuration's identity — independent of sweep order and of how
-	// many workers measured the campaign.
+	// meter seed is device.ConfigSeed(Seed, config) — a pure function of
+	// the campaign seed and the configuration's canonical key, so a
+	// point's measurement is independent of sweep order, worker count,
+	// and backend.
 	Seed int64
-	// Traced selects the block-scheduler power profile (ramp/tail) rather
-	// than the constant analytic power.
-	Traced bool
 	// Workers bounds the number of configurations measured concurrently.
 	// 0 (or negative) selects runtime.GOMAXPROCS; 1 forces the serial
 	// reference path. Any worker count produces identical records.
@@ -50,32 +46,16 @@ type Spec struct {
 	Progress func(done, total int)
 }
 
-// configSeed derives the meter seed for one configuration by mixing the
-// campaign seed with the configuration's identity (FNV-1a over the
-// little-endian words). Replaces the historical spec.Seed + i*7919
-// scheme, whose meaning changed whenever the enumeration order did —
-// under the parallel engine that would have made worker scheduling
-// observable in the measured records.
-func configSeed(seed int64, c gpusim.MatMulConfig) int64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	for _, v := range []int64{seed, int64(c.BS), int64(c.G), int64(c.R)} {
-		binary.LittleEndian.PutUint64(buf[:], uint64(v))
-		h.Write(buf[:])
-	}
-	return int64(h.Sum64())
-}
-
 // DefaultSpec returns the paper's methodology with 1% meter noise.
 func DefaultSpec(seed int64) Spec {
 	m := stats.DefaultMeasureSpec()
 	m.CheckNormality = false // per-point χ² is run by the methodology experiment
-	return Spec{Measure: m, NoiseFrac: 0.01, Seed: seed, Traced: true}
+	return Spec{Measure: m, NoiseFrac: 0.01, Seed: seed}
 }
 
 // PointReport is one configuration's measured outcome.
 type PointReport struct {
-	Config gpusim.MatMulConfig
+	Config device.Config
 	// TrueSeconds and TrueEnergyJ are the model's ground truth.
 	TrueSeconds, TrueEnergyJ float64
 	// MeasuredEnergyJ is the converged sample mean of dynamic energy.
@@ -88,8 +68,10 @@ type PointReport struct {
 
 // Result is the campaign outcome.
 type Result struct {
+	// Device is the hardware catalog name; Kind its backend class.
 	Device   string
-	Workload gpusim.MatMulWorkload
+	Kind     string
+	Workload device.Workload
 	Points   []PointReport
 	// TotalRuns sums the repetitions across configurations — the
 	// campaign's cost, which is what makes exhaustive global fronts
@@ -101,33 +83,34 @@ type Result struct {
 // Run sweeps every valid configuration of the workload on the device
 // under the campaign spec, fanning the configurations out across
 // spec.Workers goroutines. Use RunContext to cancel a campaign mid-sweep.
-func Run(dev *gpusim.Device, w gpusim.MatMulWorkload, spec Spec) (*Result, error) {
+func Run(dev device.Device, w device.Workload, spec Spec) (*Result, error) {
 	return RunContext(context.Background(), dev, w, spec)
 }
 
 // RunContext is Run with cancellation: a cancelled context stops the
 // worker pool between configurations and returns ctx.Err().
-func RunContext(ctx context.Context, dev *gpusim.Device, w gpusim.MatMulWorkload, spec Spec) (*Result, error) {
+func RunContext(ctx context.Context, dev device.Device, w device.Workload, spec Spec) (*Result, error) {
 	if dev == nil {
 		return nil, errors.New("campaign: nil device")
 	}
-	configs, err := dev.EnumerateConfigs(w)
+	configs, err := dev.Configs(w)
 	if err != nil {
 		return nil, err
 	}
 	if len(configs) == 0 {
-		return nil, fmt.Errorf("campaign: workload %+v admits no configurations", w)
+		return nil, fmt.Errorf("campaign: workload %v admits no configurations", w)
 	}
 	return RunConfigs(ctx, dev, w, configs, spec)
 }
 
 // RunConfigs measures an explicit configuration list (each valid for the
 // workload) rather than the full enumeration — the entry point for
-// re-measuring a front, resuming a partial campaign, or the
-// order-independence tests. Points come back in the given order, but
-// each point's measured value depends only on (spec.Seed, config), not
-// on its position in the list or on spec.Workers.
-func RunConfigs(ctx context.Context, dev *gpusim.Device, w gpusim.MatMulWorkload, configs []gpusim.MatMulConfig, spec Spec) (*Result, error) {
+// re-measuring a front, resuming a partial campaign, single-point
+// service measurements, and the order-independence tests. Points come
+// back in the given order, but each point's measured value depends only
+// on (spec.Seed, config), not on its position in the list or on
+// spec.Workers.
+func RunConfigs(ctx context.Context, dev device.Device, w device.Workload, configs []device.Config, spec Spec) (*Result, error) {
 	if dev == nil {
 		return nil, errors.New("campaign: nil device")
 	}
@@ -141,9 +124,10 @@ func RunConfigs(ctx context.Context, dev *gpusim.Device, w gpusim.MatMulWorkload
 	if len(configs) == 0 {
 		return nil, errors.New("campaign: no configurations")
 	}
+	w = w.Normalized()
 	prog := parallel.NewProgress(len(configs), spec.Progress)
-	points, err := parallel.Map(ctx, spec.Workers, len(configs), func(_ context.Context, i int) (PointReport, error) {
-		p, err := measurePoint(dev, w, configs[i], spec)
+	points, err := parallel.Map(ctx, spec.Workers, len(configs), func(ctx context.Context, i int) (PointReport, error) {
+		p, err := measurePoint(ctx, dev, w, configs[i], spec)
 		if err != nil {
 			return PointReport{}, err
 		}
@@ -153,7 +137,7 @@ func RunConfigs(ctx context.Context, dev *gpusim.Device, w gpusim.MatMulWorkload
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Device: dev.Spec.Name, Workload: w, Points: points}
+	out := &Result{Device: dev.Spec().CatalogName, Kind: dev.Kind(), Workload: w, Points: points}
 	for _, p := range points {
 		out.TotalRuns += p.Runs
 	}
@@ -164,35 +148,22 @@ func RunConfigs(ctx context.Context, dev *gpusim.Device, w gpusim.MatMulWorkload
 // the per-config unit of work the pool fans out. It builds its own meter
 // (seeded from the config identity), so concurrent points share no
 // mutable state.
-func measurePoint(dev *gpusim.Device, w gpusim.MatMulWorkload, c gpusim.MatMulConfig, spec Spec) (PointReport, error) {
-	var run meter.Run
-	var trueSecs, trueEnergy float64
-	if spec.Traced {
-		tr, err := dev.RunMatMulTraced(w, c)
-		if err != nil {
-			return PointReport{}, err
-		}
-		run = tr.Run(dev.Spec.IdlePowerW)
-		trueSecs, trueEnergy = tr.TraceSeconds, tr.TraceEnergyJ
-	} else {
-		r, err := dev.RunMatMul(w, c)
-		if err != nil {
-			return PointReport{}, err
-		}
-		run = r.Run(dev.Spec.IdlePowerW)
-		trueSecs, trueEnergy = r.Seconds, r.DynEnergyJ
+func measurePoint(ctx context.Context, dev device.Device, w device.Workload, c device.Config, spec Spec) (PointReport, error) {
+	out, err := dev.Run(ctx, w, c)
+	if err != nil {
+		return PointReport{}, err
 	}
-	m := meter.NewMeter(dev.Spec.IdlePowerW, configSeed(spec.Seed, c))
+	m := meter.NewMeter(dev.Spec().IdlePowerW, device.ConfigSeed(spec.Seed, c))
 	m.NoiseFrac = spec.NoiseFrac
 	m.SpikeProb = spec.SpikeProb
 	// Short kernels cannot be resolved at the WattsUp's 1 Hz: the real
 	// methodology loops the kernel to stretch the run; equivalently we
 	// sample at least 50 points per run.
-	if d := run.Duration(); d < 50 {
+	if d := out.Run.Duration(); d < 50 {
 		m.SampleInterval = d / 50
 	}
 	meas, err := stats.Measure(spec.Measure, func() (float64, error) {
-		rep, err := m.MeasureRun(run)
+		rep, err := m.MeasureRun(out.Run)
 		if err != nil {
 			return 0, err
 		}
@@ -203,8 +174,8 @@ func measurePoint(dev *gpusim.Device, w gpusim.MatMulWorkload, c gpusim.MatMulCo
 	}
 	return PointReport{
 		Config:          c,
-		TrueSeconds:     trueSecs,
-		TrueEnergyJ:     trueEnergy,
+		TrueSeconds:     out.TrueSeconds,
+		TrueEnergyJ:     out.TrueEnergyJ,
 		MeasuredEnergyJ: meas.Mean,
 		HalfWidthJ:      meas.HalfWidth,
 		Runs:            meas.Runs,
@@ -217,7 +188,7 @@ func measurePoint(dev *gpusim.Device, w gpusim.MatMulWorkload, c gpusim.MatMulCo
 // noise level? Front points closer than the measurement precision are
 // not, which is why the paper's precision target (2.5%) bounds how fine a
 // front structure any campaign can resolve.
-func CompareConfigs(dev *gpusim.Device, w gpusim.MatMulWorkload, c1, c2 gpusim.MatMulConfig, spec Spec, alpha float64) (*stats.WelchResult, error) {
+func CompareConfigs(dev device.Device, w device.Workload, c1, c2 device.Config, spec Spec, alpha float64) (*stats.WelchResult, error) {
 	if dev == nil {
 		return nil, errors.New("campaign: nil device")
 	}
@@ -225,19 +196,21 @@ func CompareConfigs(dev *gpusim.Device, w gpusim.MatMulWorkload, c1, c2 gpusim.M
 		spec.Measure = stats.DefaultMeasureSpec()
 		spec.Measure.CheckNormality = false
 	}
-	samplesFor := func(c gpusim.MatMulConfig, seed int64) (*stats.Sample, error) {
-		tr, err := dev.RunMatMulTraced(w, c)
+	w = w.Normalized()
+	samplesFor := func(c device.Config, seed int64) (*stats.Sample, error) {
+		out, err := dev.Run(context.Background(), w, c)
 		if err != nil {
 			return nil, err
 		}
-		run := tr.Run(dev.Spec.IdlePowerW)
-		m := meter.NewMeter(dev.Spec.IdlePowerW, seed)
+		// The second sample uses an offset campaign seed so the two
+		// measurements are independent even when c1 == c2.
+		m := meter.NewMeter(dev.Spec().IdlePowerW, device.ConfigSeed(seed, c))
 		m.NoiseFrac = spec.NoiseFrac
-		if d := run.Duration(); d < 50 {
+		if d := out.Run.Duration(); d < 50 {
 			m.SampleInterval = d / 50
 		}
 		meas, err := stats.Measure(spec.Measure, func() (float64, error) {
-			rep, err := m.MeasureRun(run)
+			rep, err := m.MeasureRun(out.Run)
 			if err != nil {
 				return 0, err
 			}
@@ -259,21 +232,23 @@ func CompareConfigs(dev *gpusim.Device, w gpusim.MatMulWorkload, c1, c2 gpusim.M
 	return stats.WelchTTest(s1, s2, alpha)
 }
 
-// Record converts the campaign's measured values into a persistable sweep
-// record (measured energy, true time — matching how the paper measures
-// kernel time with CUDA events but energy with the meter).
-func (r *Result) Record() (*store.SweepRecord, error) {
+// Record converts the campaign's measured values into a persistable
+// device-generic record (measured energy, true time — matching how the
+// paper measures kernel time with CUDA events but energy with the meter).
+func (r *Result) Record() (*store.CampaignRecord, error) {
 	if len(r.Points) == 0 {
 		return nil, errors.New("campaign: empty result")
 	}
-	rec := &store.SweepRecord{
+	rec := &store.CampaignRecord{
 		Version:  store.FormatVersion,
 		Device:   r.Device,
+		Kind:     r.Kind,
 		Workload: r.Workload,
 	}
 	for _, p := range r.Points {
-		rec.Results = append(rec.Results, store.ConfigRecord{
-			BS: p.Config.BS, G: p.Config.G, R: p.Config.R,
+		rec.Results = append(rec.Results, store.MeasuredPoint{
+			Config:     p.Config.Key(),
+			Label:      p.Config.String(),
 			Seconds:    p.TrueSeconds,
 			DynPowerW:  p.MeasuredEnergyJ / p.TrueSeconds,
 			DynEnergyJ: p.MeasuredEnergyJ,

@@ -5,14 +5,40 @@ import (
 	"math"
 	"testing"
 
-	"energyprop/internal/gpusim"
+	"energyprop/internal/device"
 	"energyprop/internal/pareto"
 	"energyprop/internal/store"
 )
 
 // smallWorkload keeps campaign tests fast: few configurations.
-func smallWorkload() gpusim.MatMulWorkload {
-	return gpusim.MatMulWorkload{N: 4096, Products: 2}
+func smallWorkload() device.Workload {
+	return device.Workload{N: 4096, Products: 2}
+}
+
+// openDev opens a registered device or fails the test.
+func openDev(t testing.TB, name string) device.Device {
+	t.Helper()
+	d, err := device.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// configByKey picks one enumerated configuration by its canonical key.
+func configByKey(t testing.TB, dev device.Device, w device.Workload, key string) device.Config {
+	t.Helper()
+	configs, err := dev.Configs(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range configs {
+		if c.Key() == key {
+			return c
+		}
+	}
+	t.Fatalf("no config %q on %s", key, dev.Name())
+	return nil
 }
 
 func TestRunValidation(t *testing.T) {
@@ -21,17 +47,16 @@ func TestRunValidation(t *testing.T) {
 	}
 	spec := DefaultSpec(1)
 	spec.NoiseFrac = -1
-	if _, err := Run(gpusim.NewP100(), smallWorkload(), spec); err == nil {
+	if _, err := Run(openDev(t, "p100"), smallWorkload(), spec); err == nil {
 		t.Error("negative noise: want error")
 	}
-	if _, err := Run(gpusim.NewP100(), gpusim.MatMulWorkload{N: 0, Products: 1}, DefaultSpec(1)); err == nil {
+	if _, err := Run(openDev(t, "p100"), device.Workload{N: 0, Products: 1}, DefaultSpec(1)); err == nil {
 		t.Error("bad workload: want error")
 	}
 }
 
 func TestCampaignMeasuresAccurately(t *testing.T) {
-	dev := gpusim.NewP100()
-	res, err := Run(dev, smallWorkload(), DefaultSpec(3))
+	res, err := Run(openDev(t, "p100"), smallWorkload(), DefaultSpec(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +79,7 @@ func TestCampaignMeasuresAccurately(t *testing.T) {
 }
 
 func TestCampaignDeterministicPerSeed(t *testing.T) {
-	dev := gpusim.NewP100()
+	dev := openDev(t, "p100")
 	a, err := Run(dev, smallWorkload(), DefaultSpec(5))
 	if err != nil {
 		t.Fatal(err)
@@ -83,10 +108,14 @@ func TestCampaignDeterministicPerSeed(t *testing.T) {
 	}
 }
 
-func TestCampaignUntracedMode(t *testing.T) {
-	spec := DefaultSpec(2)
-	spec.Traced = false
-	res, err := Run(gpusim.NewK40c(), smallWorkload(), spec)
+func TestCampaignAnalyticMode(t *testing.T) {
+	// The analytic (constant-power) profile is the untraced mode: campaigns
+	// run on it through the same engine via the AnalyticProvider variant.
+	ap, ok := openDev(t, "k40c").(device.AnalyticProvider)
+	if !ok {
+		t.Fatal("k40c does not provide an analytic variant")
+	}
+	res, err := Run(ap.Analytic(), smallWorkload(), DefaultSpec(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,10 +127,8 @@ func TestCampaignUntracedMode(t *testing.T) {
 func TestMeasuredFrontMatchesTrueFront(t *testing.T) {
 	// The methodology's point: measured values must support the same
 	// bi-objective conclusions as the ground truth.
-	dev := gpusim.NewP100()
-	w := gpusim.MatMulWorkload{N: 10240, Products: 8}
-	spec := DefaultSpec(7)
-	res, err := Run(dev, w, spec)
+	w := device.Workload{N: 10240, Products: 8}
+	res, err := Run(openDev(t, "p100"), w, DefaultSpec(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,12 +160,11 @@ func TestMeasuredFrontMatchesTrueFront(t *testing.T) {
 func TestCampaignRobustToSpikes(t *testing.T) {
 	// With 3% transient spikes per sample, the robust pipeline (MAD
 	// rejection over the per-run energies) stays close to the truth.
-	dev := gpusim.NewP100()
 	spec := DefaultSpec(13)
 	spec.SpikeProb = 0.03
 	spec.Measure.RejectOutliersK = 3
 	spec.Measure.MinRuns = 8
-	res, err := Run(dev, smallWorkload(), spec)
+	res, err := Run(openDev(t, "p100"), smallWorkload(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,13 +180,13 @@ func TestCampaignRobustToSpikes(t *testing.T) {
 func TestCompareConfigsDistinguishesFrontPoints(t *testing.T) {
 	// BS=24 vs BS=32 on the P100 differ in energy by ~2x: easily
 	// distinguishable; a configuration against itself is not.
-	dev := gpusim.NewP100()
-	w := gpusim.MatMulWorkload{N: 10240, Products: 8}
+	dev := openDev(t, "p100")
+	w := device.Workload{N: 10240, Products: 8}
 	spec := DefaultSpec(11)
 	spec.Measure.MinRuns = 8
-	res, err := CompareConfigs(dev, w,
-		gpusim.MatMulConfig{BS: 24, G: 1, R: 8},
-		gpusim.MatMulConfig{BS: 32, G: 1, R: 8}, spec, 0.05)
+	c24 := configByKey(t, dev, w, "bs=24/g=1/r=8")
+	c32 := configByKey(t, dev, w, "bs=32/g=1/r=8")
+	res, err := CompareConfigs(dev, w, c24, c32, spec, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,9 +196,7 @@ func TestCompareConfigsDistinguishesFrontPoints(t *testing.T) {
 	if res.MeanDiff >= 0 {
 		t.Error("BS=24 should be cheaper than BS=32")
 	}
-	same, err := CompareConfigs(dev, w,
-		gpusim.MatMulConfig{BS: 24, G: 1, R: 8},
-		gpusim.MatMulConfig{BS: 24, G: 1, R: 8}, spec, 0.05)
+	same, err := CompareConfigs(dev, w, c24, c24, spec, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,22 +205,42 @@ func TestCompareConfigsDistinguishesFrontPoints(t *testing.T) {
 	}
 }
 
+// TestCompareConfigsAcrossBackends exercises the generic comparator on a
+// CPU device: the serial decomposition against the balanced two-socket
+// one differ by far more than the measurement noise.
+func TestCompareConfigsAcrossBackends(t *testing.T) {
+	dev := openDev(t, "haswell")
+	w := device.Workload{N: 2048, Products: 1}
+	spec := DefaultSpec(19)
+	spec.Measure.MinRuns = 8
+	serial := configByKey(t, dev, w, "contiguous/p=1/t=1")
+	balanced := configByKey(t, dev, w, "contiguous/p=2/t=12")
+	res, err := CompareConfigs(dev, w, serial, balanced, spec, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant {
+		t.Errorf("serial vs balanced decomposition not distinguishable: p=%v", res.PValue)
+	}
+}
+
 func TestCompareConfigsValidation(t *testing.T) {
-	if _, err := CompareConfigs(nil, smallWorkload(),
-		gpusim.MatMulConfig{}, gpusim.MatMulConfig{}, DefaultSpec(1), 0.05); err == nil {
+	dev := openDev(t, "p100")
+	w := smallWorkload()
+	c := configByKey(t, dev, w, "bs=24/g=1/r=2")
+	if _, err := CompareConfigs(nil, w, c, c, DefaultSpec(1), 0.05); err == nil {
 		t.Error("nil device: want error")
 	}
-	dev := gpusim.NewP100()
-	if _, err := CompareConfigs(dev, smallWorkload(),
-		gpusim.MatMulConfig{BS: 99, G: 1, R: 2},
-		gpusim.MatMulConfig{BS: 8, G: 1, R: 2}, DefaultSpec(1), 0.05); err == nil {
-		t.Error("invalid config: want error")
+	// A foreign backend's configuration is invalid here.
+	cpu := openDev(t, "haswell")
+	foreign := configByKey(t, cpu, w, "contiguous/p=1/t=1")
+	if _, err := CompareConfigs(dev, w, foreign, c, DefaultSpec(1), 0.05); err == nil {
+		t.Error("foreign config: want error")
 	}
 }
 
 func TestCampaignRecordRoundTrip(t *testing.T) {
-	dev := gpusim.NewK40c()
-	res, err := Run(dev, smallWorkload(), DefaultSpec(9))
+	res, err := Run(openDev(t, "k40c"), smallWorkload(), DefaultSpec(9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,11 +248,14 @@ func TestCampaignRecordRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if rec.Kind != "gpu" {
+		t.Errorf("record kind %q, want gpu", rec.Kind)
+	}
 	var buf bytes.Buffer
-	if err := store.Save(&buf, rec); err != nil {
+	if err := store.SaveCampaign(&buf, rec); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := store.Load(&buf)
+	loaded, err := store.LoadCampaign(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,75 +10,89 @@ import (
 	"sync/atomic"
 	"testing"
 
-	"energyprop/internal/gpusim"
+	"energyprop/internal/device"
 	"energyprop/internal/store"
 )
 
 // TestSeedIndependentOfConfigOrder is the regression test for the
 // order-dependent seeding bug: the historical scheme seeded each meter
 // as spec.Seed + i*7919, so reordering the configuration list changed
-// every measured value. Seeds now hash the configuration's identity —
-// shuffling the sweep order must leave each config's measured energy
-// bit-identical.
+// every measured value. Seeds now hash the configuration's canonical key
+// (device.ConfigSeed) — shuffling the sweep order must leave each
+// config's measured energy bit-identical. Run on both a GPU and a CPU
+// backend: the contract is device-generic.
 func TestSeedIndependentOfConfigOrder(t *testing.T) {
-	dev := gpusim.NewP100()
-	w := smallWorkload()
-	configs, err := dev.EnumerateConfigs(w)
-	if err != nil {
-		t.Fatal(err)
-	}
-	spec := DefaultSpec(21)
-	spec.Workers = 1 // isolate ordering from parallelism
+	for _, tc := range []struct {
+		name string
+		w    device.Workload
+	}{
+		{"p100", smallWorkload()},
+		{"haswell", device.Workload{N: 48, Products: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dev := openDev(t, tc.name)
+			configs, err := dev.Configs(tc.w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := DefaultSpec(21)
+			spec.Workers = 1 // isolate ordering from parallelism
 
-	canonical, err := RunConfigs(context.Background(), dev, w, configs, spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	shuffled := append([]gpusim.MatMulConfig(nil), configs...)
-	rand.New(rand.NewSource(99)).Shuffle(len(shuffled), func(i, j int) {
-		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
-	})
-	if shuffled[0] == configs[0] && shuffled[1] == configs[1] {
-		t.Fatal("shuffle left the order unchanged; pick another shuffle seed")
-	}
-	reordered, err := RunConfigs(context.Background(), dev, w, shuffled, spec)
-	if err != nil {
-		t.Fatal(err)
-	}
+			canonical, err := RunConfigs(context.Background(), dev, tc.w, configs, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shuffled := append([]device.Config(nil), configs...)
+			rand.New(rand.NewSource(99)).Shuffle(len(shuffled), func(i, j int) {
+				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+			})
+			if shuffled[0] == configs[0] && shuffled[1] == configs[1] {
+				t.Fatal("shuffle left the order unchanged; pick another shuffle seed")
+			}
+			reordered, err := RunConfigs(context.Background(), dev, tc.w, shuffled, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
 
-	byConfig := make(map[gpusim.MatMulConfig]PointReport, len(reordered.Points))
-	for _, p := range reordered.Points {
-		byConfig[p.Config] = p
-	}
-	for _, p := range canonical.Points {
-		q, ok := byConfig[p.Config]
-		if !ok {
-			t.Fatalf("config %v missing from shuffled run", p.Config)
-		}
-		if p.MeasuredEnergyJ != q.MeasuredEnergyJ || p.Runs != q.Runs || p.HalfWidthJ != q.HalfWidthJ {
-			t.Errorf("%v: canonical (%.6f J, %d runs) vs shuffled (%.6f J, %d runs) — seeding is order-dependent",
-				p.Config, p.MeasuredEnergyJ, p.Runs, q.MeasuredEnergyJ, q.Runs)
-		}
+			byConfig := make(map[string]PointReport, len(reordered.Points))
+			for _, p := range reordered.Points {
+				byConfig[p.Config.Key()] = p
+			}
+			for _, p := range canonical.Points {
+				q, ok := byConfig[p.Config.Key()]
+				if !ok {
+					t.Fatalf("config %v missing from shuffled run", p.Config)
+				}
+				if p.MeasuredEnergyJ != q.MeasuredEnergyJ || p.Runs != q.Runs || p.HalfWidthJ != q.HalfWidthJ {
+					t.Errorf("%v: canonical (%.6f J, %d runs) vs shuffled (%.6f J, %d runs) — seeding is order-dependent",
+						p.Config, p.MeasuredEnergyJ, p.Runs, q.MeasuredEnergyJ, q.Runs)
+				}
+			}
+		})
 	}
 }
 
 // TestSerialParallelByteIdentical is the engine's determinism contract:
-// on both devices, a 1-worker campaign and an 8-worker campaign must
-// serialize to byte-identical store.SweepRecord JSON.
+// on every backend kind — GPU, CPU, and the heterogeneous ensemble — a
+// 1-worker campaign and an 8-worker campaign must serialize to
+// byte-identical store.CampaignRecord JSON, with points in canonical
+// enumeration order.
 func TestSerialParallelByteIdentical(t *testing.T) {
 	for _, tc := range []struct {
 		name string
-		dev  *gpusim.Device
+		w    device.Workload
 	}{
-		{"k40c", gpusim.NewK40c()},
-		{"p100", gpusim.NewP100()},
+		{"k40c", smallWorkload()},
+		{"p100", smallWorkload()},
+		{"haswell", device.Workload{N: 48, Products: 1}},
+		{"hetero", device.Workload{N: 256, Products: 3}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			w := smallWorkload()
+			dev := openDev(t, tc.name)
 			recordWith := func(workers int) []byte {
 				spec := DefaultSpec(31)
 				spec.Workers = workers
-				res, err := Run(tc.dev, w, spec)
+				res, err := Run(dev, tc.w, spec)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -87,7 +101,7 @@ func TestSerialParallelByteIdentical(t *testing.T) {
 					t.Fatal(err)
 				}
 				var buf bytes.Buffer
-				if err := store.Save(&buf, rec); err != nil {
+				if err := store.SaveCampaign(&buf, rec); err != nil {
 					t.Fatal(err)
 				}
 				return buf.Bytes()
@@ -99,11 +113,11 @@ func TestSerialParallelByteIdentical(t *testing.T) {
 			}
 			// The points must also round-trip through JSON in canonical
 			// enumeration order.
-			var rec store.SweepRecord
+			var rec store.CampaignRecord
 			if err := json.Unmarshal(parallel, &rec); err != nil {
 				t.Fatal(err)
 			}
-			configs, err := tc.dev.EnumerateConfigs(w)
+			configs, err := dev.Configs(tc.w)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -111,42 +125,97 @@ func TestSerialParallelByteIdentical(t *testing.T) {
 				t.Fatalf("%d results, want %d", len(rec.Results), len(configs))
 			}
 			for i, c := range configs {
-				got := gpusim.MatMulConfig{BS: rec.Results[i].BS, G: rec.Results[i].G, R: rec.Results[i].R}
-				if got != c {
-					t.Fatalf("result %d is %v, want canonical %v", i, got, c)
+				if rec.Results[i].Config != c.Key() {
+					t.Fatalf("result %d is %q, want canonical %q", i, rec.Results[i].Config, c.Key())
 				}
 			}
 		})
 	}
 }
 
+// TestCPUShuffledCampaignByteIdentical is the cross-backend determinism
+// guarantee in one assertion: on the CPU adapter, serial, parallel, and
+// shuffled-then-restored campaigns must produce byte-identical records.
+func TestCPUShuffledCampaignByteIdentical(t *testing.T) {
+	dev := openDev(t, "haswell")
+	w := device.Workload{N: 96, Products: 2}
+	configs, err := dev.Configs(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAs := func(order []device.Config, workers int) []byte {
+		spec := DefaultSpec(47)
+		spec.Workers = workers
+		res, err := RunConfigs(context.Background(), dev, w, order, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Restore canonical order by key so the serialized bytes are
+		// comparable across orderings.
+		byKey := make(map[string]PointReport, len(res.Points))
+		for _, p := range res.Points {
+			byKey[p.Config.Key()] = p
+		}
+		ordered := &Result{Device: res.Device, Kind: res.Kind, Workload: res.Workload}
+		for _, c := range configs {
+			ordered.Points = append(ordered.Points, byKey[c.Key()])
+		}
+		rec, err := ordered.Record()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := store.SaveCampaign(&buf, rec); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	shuffled := append([]device.Config(nil), configs...)
+	rand.New(rand.NewSource(7)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	serial := runAs(configs, 1)
+	parallel := runAs(configs, 6)
+	reordered := runAs(shuffled, 6)
+	if !bytes.Equal(serial, parallel) {
+		t.Error("serial and parallel CPU campaigns differ")
+	}
+	if !bytes.Equal(serial, reordered) {
+		t.Error("canonical and shuffled CPU campaigns differ")
+	}
+}
+
 func TestRunConfigsValidation(t *testing.T) {
-	dev := gpusim.NewP100()
+	dev := openDev(t, "p100")
 	if _, err := RunConfigs(context.Background(), nil, smallWorkload(), nil, DefaultSpec(1)); err == nil {
 		t.Error("nil device: want error")
 	}
 	if _, err := RunConfigs(context.Background(), dev, smallWorkload(), nil, DefaultSpec(1)); err == nil {
 		t.Error("empty config list: want error")
 	}
-	bad := []gpusim.MatMulConfig{{BS: 99, G: 1, R: 2}}
-	if _, err := RunConfigs(context.Background(), dev, smallWorkload(), bad, DefaultSpec(1)); err == nil {
-		t.Error("invalid config: want error")
+	cpu := openDev(t, "haswell")
+	foreign, err := cpu.Configs(device.Workload{N: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunConfigs(context.Background(), dev, smallWorkload(), foreign[:1], DefaultSpec(1)); err == nil {
+		t.Error("foreign config: want error")
 	}
 }
 
 func TestRunContextCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := RunContext(ctx, gpusim.NewP100(), smallWorkload(), DefaultSpec(1))
+	_, err := RunContext(ctx, openDev(t, "p100"), smallWorkload(), DefaultSpec(1))
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 
 func TestProgressReportsEveryConfig(t *testing.T) {
-	dev := gpusim.NewP100()
+	dev := openDev(t, "p100")
 	w := smallWorkload()
-	configs, err := dev.EnumerateConfigs(w)
+	configs, err := dev.Configs(w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,35 +241,14 @@ func TestProgressReportsEveryConfig(t *testing.T) {
 	}
 }
 
-func TestConfigSeedDistinctAndStable(t *testing.T) {
-	seen := make(map[int64]gpusim.MatMulConfig)
-	for bs := 1; bs <= 32; bs++ {
-		for g := 1; g <= 8; g++ {
-			c := gpusim.MatMulConfig{BS: bs, G: g, R: 8 / max(1, g)}
-			s := configSeed(42, c)
-			if prev, dup := seen[s]; dup {
-				t.Fatalf("seed collision between %v and %v", prev, c)
-			}
-			seen[s] = c
-			if s != configSeed(42, c) {
-				t.Fatal("configSeed not stable")
-			}
-		}
-	}
-	c := gpusim.MatMulConfig{BS: 8, G: 1, R: 8}
-	if configSeed(1, c) == configSeed(2, c) {
-		t.Error("different campaign seeds must give different config seeds")
-	}
-}
-
 // BenchmarkParallelSweep measures the full campaign hot path (traced
 // runs, noisy meter, confidence-loop repetition for every configuration)
 // at increasing worker counts. The configurations are independent, so on
 // a multi-core host throughput scales with workers until GOMAXPROCS is
 // saturated; compare the workers=1 and workers=8 lines for the speedup.
 func BenchmarkParallelSweep(b *testing.B) {
-	dev := gpusim.NewP100()
-	w := gpusim.MatMulWorkload{N: 10240, Products: 8}
+	dev := openDev(b, "p100")
+	w := device.Workload{N: 10240, Products: 8}
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			spec := DefaultSpec(1)

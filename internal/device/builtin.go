@@ -1,0 +1,23 @@
+package device
+
+import (
+	"energyprop/internal/cpusim"
+	"energyprop/internal/gpusim"
+	"energyprop/internal/hw"
+)
+
+// The builtin catalog: the paper's two GPUs, the two CPU platforms of
+// the companion study, and the Fig 1 heterogeneous ensemble.
+func init() {
+	Register("k40c", func() (Device, error) { return NewGPU("k40c", gpusim.NewK40c()) })
+	Register("p100", func() (Device, error) { return NewGPU("p100", gpusim.NewP100()) })
+	Register("haswell", func() (Device, error) { return NewCPU("haswell", cpusim.NewHaswell()) })
+	Register("legacy-xeon", func() (Device, error) {
+		m, err := cpusim.NewMachine(hw.LegacyXeon())
+		if err != nil {
+			return nil, err
+		}
+		return NewCPU("legacy-xeon", m)
+	})
+	Register("hetero", func() (Device, error) { return NewPaperHetero("hetero"), nil })
+}

@@ -1,0 +1,120 @@
+package device
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"energyprop/internal/cpusim"
+	"energyprop/internal/dense"
+	"energyprop/internal/meter"
+)
+
+// CPU adapts a *cpusim.Machine. Its decision variables are the
+// threadgroup decompositions of the Fig 4 application — (partition,
+// groups, threads-per-group) — over the dense DGEMM or the threaded 2D
+// FFT, the configuration space of the companion CPU weak-EP study.
+type CPU struct {
+	name string
+	m    *cpusim.Machine
+}
+
+// NewCPU wraps a cpusim machine under the given registry name.
+func NewCPU(name string, m *cpusim.Machine) (*CPU, error) {
+	if name == "" {
+		return nil, errors.New("device: CPU needs a name")
+	}
+	if m == nil || m.Spec == nil {
+		return nil, errors.New("device: nil cpusim machine")
+	}
+	return &CPU{name: name, m: m}, nil
+}
+
+// Name implements Device.
+func (c *CPU) Name() string { return c.name }
+
+// Kind implements Device.
+func (c *CPU) Kind() string { return "cpu" }
+
+// Spec implements Device. CPU specs carry no nameplate TDP, so TDPWatts
+// is 0.
+func (c *CPU) Spec() Spec {
+	return Spec{CatalogName: c.m.Spec.Name, IdlePowerW: c.m.Spec.IdlePowerW}
+}
+
+// Underlying exposes the wrapped simulator for callers that need
+// machine-specific extras (placement policies, power breakdowns).
+func (c *CPU) Underlying() *cpusim.Machine { return c.m }
+
+// CPUPoint is one threadgroup decomposition.
+type CPUPoint struct {
+	C dense.Config
+}
+
+// Key implements Config, e.g. "contiguous/p=2/t=12".
+func (p CPUPoint) Key() string {
+	return fmt.Sprintf("%s/p=%d/t=%d", p.C.Partition, p.C.Groups, p.C.ThreadsPerGroup)
+}
+
+// String implements Config with the decomposition notation.
+func (p CPUPoint) String() string { return p.C.String() }
+
+// Configs implements Device: the machine's enumeration filtered to the
+// decompositions valid for the workload size (threads <= N).
+func (c *CPU) Configs(w Workload) ([]Config, error) {
+	w = w.Normalized()
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if w.App != AppDense && w.App != AppFFT {
+		return nil, fmt.Errorf("device: %s cannot run application %q", c.name, w.App)
+	}
+	if w.App == AppFFT && w.N < 2 {
+		return nil, fmt.Errorf("device: FFT size %d must be >= 2", w.N)
+	}
+	var out []Config
+	for _, cfg := range c.m.EnumerateConfigs() {
+		if cfg.Validate(w.N) == nil {
+			out = append(out, CPUPoint{C: cfg})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("device: %s admits no configurations for %v", c.name, w)
+	}
+	return out, nil
+}
+
+// Run implements Device. Products instances run back to back, so time
+// and energy scale linearly with the count.
+func (c *CPU) Run(ctx context.Context, w Workload, cfg Config) (*Outcome, error) {
+	if err := checkCtx(ctx); err != nil {
+		return nil, err
+	}
+	w = w.Normalized()
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	p, ok := cfg.(CPUPoint)
+	if !ok {
+		return nil, configMismatch(c, cfg)
+	}
+	var r *cpusim.Result
+	var err error
+	switch w.App {
+	case AppDense:
+		r, err = c.m.RunGEMM(cpusim.GEMMApp{N: w.N, Config: p.C})
+	case AppFFT:
+		r, err = c.m.RunFFT2DThreaded(w.N, p.C)
+	default:
+		return nil, fmt.Errorf("device: %s cannot run application %q", c.name, w.App)
+	}
+	if err != nil {
+		return nil, err
+	}
+	n := float64(w.Products)
+	return &Outcome{
+		TrueSeconds: n * r.Seconds,
+		TrueEnergyJ: n * r.DynEnergyJ,
+		Run:         meter.ConstantRun{Seconds: n * r.Seconds, Watts: c.m.Spec.IdlePowerW + r.DynPowerW},
+	}, nil
+}

@@ -1,0 +1,285 @@
+package device
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+)
+
+// openT opens a registered device or fails the test.
+func openT(t *testing.T, name string) Device {
+	t.Helper()
+	d, err := Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestConfigSeedStableAndDistinct(t *testing.T) {
+	configs, err := openT(t, "p100").Configs(Workload{N: 4096, Products: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]string{}
+	for _, c := range configs {
+		s := ConfigSeed(42, c)
+		if s == 42 || s == 0 {
+			t.Errorf("ConfigSeed(42, %v) = %d: not mixed", c, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("ConfigSeed collision between %q and %q", prev, c.Key())
+		}
+		seen[s] = c.Key()
+		if s != ConfigSeed(42, c) {
+			t.Errorf("ConfigSeed(42, %v) not deterministic", c)
+		}
+		if s == ConfigSeed(43, c) {
+			t.Errorf("ConfigSeed insensitive to campaign seed for %v", c)
+		}
+	}
+}
+
+func TestConfigKeysAreCanonical(t *testing.T) {
+	for _, name := range List() {
+		d := openT(t, name)
+		n := 64
+		if d.Kind() == "hetero" {
+			n = 256 // every ensemble processor must fit the unit size
+		}
+		configs, err := d.Configs(Workload{N: n, Products: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		seen := map[string]bool{}
+		for _, c := range configs {
+			key := c.Key()
+			if key == "" || key != strings.ToLower(key) ||
+				strings.ContainsAny(key, ", \t\n\"") {
+				t.Errorf("%s: key %q is not canonical (lowercase, no spaces/commas)", name, key)
+			}
+			if seen[key] {
+				t.Errorf("%s: duplicate key %q", name, key)
+			}
+			seen[key] = true
+			if c.String() == "" {
+				t.Errorf("%s: config %q has empty label", name, key)
+			}
+		}
+	}
+}
+
+// TestRunMatchesOutcomeEnergy checks the Outcome contract on every
+// backend: the power profile integrates to idle·T + dynamic energy.
+func TestRunMatchesOutcomeEnergy(t *testing.T) {
+	for _, name := range List() {
+		d := openT(t, name)
+		n := 64
+		if d.Kind() == "hetero" {
+			n = 256
+		}
+		w := Workload{N: n, Products: 4}
+		configs, err := d.Configs(w)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, c := range configs[:min(4, len(configs))] {
+			out, err := d.Run(context.Background(), w, c)
+			if err != nil {
+				t.Fatalf("%s %v: %v", name, c, err)
+			}
+			if out.TrueSeconds <= 0 || out.TrueEnergyJ <= 0 {
+				t.Fatalf("%s %v: non-positive outcome %+v", name, c, out)
+			}
+			if d := math.Abs(out.Run.Duration() - out.TrueSeconds); d > 1e-9*out.TrueSeconds {
+				t.Errorf("%s %v: run duration %v != true seconds %v", name, c, out.Run.Duration(), out.TrueSeconds)
+			}
+			// The meter subtracts idle·T from the sampled total, so the
+			// profile's integral must equal idle·T + TrueEnergyJ.
+			total := integrateRun(out)
+			want := d2idle(d)*out.TrueSeconds + out.TrueEnergyJ
+			if math.Abs(total-want) > 1e-6*want {
+				t.Errorf("%s %v: profile integrates to %.6g J, want %.6g J", name, c, total, want)
+			}
+		}
+	}
+}
+
+func d2idle(d Device) float64 { return d.Spec().IdlePowerW }
+
+// integrateRun trapezoid-integrates a run's power finely enough for the
+// piecewise-constant profiles the adapters build.
+func integrateRun(out *Outcome) float64 {
+	dur := out.Run.Duration()
+	const steps = 200000
+	h := dur / steps
+	sum := 0.0
+	for i := 0; i < steps; i++ {
+		// Midpoint rule: exact for piecewise-constant profiles except at
+		// the step boundaries, which the tolerance absorbs.
+		sum += out.Run.PowerAt((float64(i) + 0.5) * h)
+	}
+	return sum * h
+}
+
+func TestWorkloadNormalization(t *testing.T) {
+	w := Workload{N: 128}.Normalized()
+	if w.App != AppDense || w.Products != 1 {
+		t.Fatalf("Normalized() = %+v", w)
+	}
+	if got := (Workload{App: "matmul", N: 128}).Normalized().App; got != AppDense {
+		t.Fatalf("matmul alias normalized to %q", got)
+	}
+	for _, bad := range []Workload{{N: 0}, {N: 128, Products: -1}, {App: "raytrace", N: 128}} {
+		if bad.Validate() == nil {
+			t.Errorf("Validate(%+v) accepted", bad)
+		}
+	}
+}
+
+func TestGPUFFTFamily(t *testing.T) {
+	d := openT(t, "k40c")
+	configs, err := d.Configs(Workload{App: "fft", N: 1024, Products: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(configs) != 1 || configs[0].Key() != "fft" {
+		t.Fatalf("GPU FFT configs = %v, want the single fft point", configs)
+	}
+	one, err := d.Run(context.Background(), Workload{App: "fft", N: 1024, Products: 1}, configs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := d.Run(context.Background(), Workload{App: "fft", N: 1024, Products: 3}, configs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(three.TrueEnergyJ-3*one.TrueEnergyJ) > 1e-9*three.TrueEnergyJ {
+		t.Fatalf("FFT energy does not scale with products: %v vs 3x %v", three.TrueEnergyJ, one.TrueEnergyJ)
+	}
+	if _, err := d.Configs(Workload{App: "fft", N: 1}); err == nil {
+		t.Fatal("FFT size 1 accepted")
+	}
+}
+
+func TestCPUFamilies(t *testing.T) {
+	d := openT(t, "haswell")
+	for _, app := range []string{"dgemm", "fft"} {
+		configs, err := d.Configs(Workload{App: app, N: 96})
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		// Every enumerated decomposition must fit the size: threads <= N.
+		for _, c := range configs {
+			p := c.(CPUPoint)
+			if p.C.Threads() > 96 {
+				t.Fatalf("%s: config %v has %d threads for N=96", app, c, p.C.Threads())
+			}
+		}
+		if _, err := d.Run(context.Background(), Workload{App: app, N: 96}, configs[0]); err != nil {
+			t.Fatalf("%s run: %v", app, err)
+		}
+	}
+	// A small size must shrink the space, not error out.
+	small, err := d.Configs(Workload{N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := d.Configs(Workload{N: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small) >= len(full) {
+		t.Fatalf("N=4 space (%d) not smaller than N=4096 space (%d)", len(small), len(full))
+	}
+}
+
+func TestHeteroDistributions(t *testing.T) {
+	d := openT(t, "hetero")
+	w := Workload{N: 256, Products: 4}
+	configs, err := d.Configs(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compositions of 4 units over 3 processors: C(6,2) = 15.
+	if len(configs) != 15 {
+		t.Fatalf("got %d distributions, want 15", len(configs))
+	}
+	for _, c := range configs {
+		p := c.(HeteroPoint)
+		sum := 0
+		for i := 0; i < p.NP; i++ {
+			sum += p.Units[i]
+		}
+		if sum != 4 {
+			t.Fatalf("distribution %v sums to %d", c, sum)
+		}
+	}
+	out, err := d.Run(context.Background(), w, configs[len(configs)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TrueSeconds <= 0 || out.TrueEnergyJ <= 0 {
+		t.Fatalf("bad outcome %+v", out)
+	}
+	// A size the CPU processor cannot run (threads > N) must fail at
+	// Configs, not mid-campaign.
+	if _, err := d.Configs(Workload{N: 8, Products: 2}); err == nil {
+		t.Fatal("hetero accepted N=8, which its CPU processor cannot run")
+	}
+	// Mismatched unit totals are rejected by Run.
+	wrong := configs[0].(HeteroPoint)
+	if _, err := d.Run(context.Background(), Workload{N: 256, Products: 9}, wrong); err == nil {
+		t.Fatal("Run accepted a distribution that does not sum to the workload")
+	}
+}
+
+func TestAnalyticProvider(t *testing.T) {
+	d := openT(t, "p100")
+	ap, ok := d.(AnalyticProvider)
+	if !ok {
+		t.Fatal("GPU does not implement AnalyticProvider")
+	}
+	a := ap.Analytic()
+	w := Workload{N: 4096, Products: 8}
+	configs, err := d.Configs(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := configs[0]
+	traced, err := d.Run(context.Background(), w, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, err := a.Run(context.Background(), w, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same model, different profile shape: analytic is constant power.
+	if analytic.Run.PowerAt(0) != analytic.Run.PowerAt(analytic.Run.Duration()*0.99) {
+		t.Fatal("analytic profile is not constant")
+	}
+	if traced.TrueSeconds <= 0 || analytic.TrueSeconds <= 0 {
+		t.Fatal("non-positive times")
+	}
+}
+
+func TestRunRejectsForeignConfig(t *testing.T) {
+	gpu := openT(t, "k40c")
+	cpu := openT(t, "haswell")
+	cpuConfigs, err := cpu.Configs(Workload{N: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gpu.Run(context.Background(), Workload{N: 64}, cpuConfigs[0]); err == nil {
+		t.Fatal("GPU accepted a CPU configuration")
+	}
+	gpuConfigs, err := gpu.Configs(Workload{N: 64, Products: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cpu.Run(context.Background(), Workload{N: 64, Products: 2}, gpuConfigs[0]); err == nil {
+		t.Fatal("CPU accepted a GPU configuration")
+	}
+}

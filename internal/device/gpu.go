@@ -1,0 +1,163 @@
+package device
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"energyprop/internal/gpusim"
+	"energyprop/internal/meter"
+)
+
+// GPU adapts a *gpusim.Device. Its dense decision variables are the
+// paper's (BS, G, R) triples; the FFT family has a single point (CUFFT
+// exposes no launch knobs in the study). By default runs go through the
+// block scheduler's time-varying power trace; Analytic returns a variant
+// using the constant analytic profile instead.
+type GPU struct {
+	name     string
+	dev      *gpusim.Device
+	analytic bool
+}
+
+// NewGPU wraps a gpusim device under the given registry name, in traced
+// (block-scheduler power profile) mode.
+func NewGPU(name string, dev *gpusim.Device) (*GPU, error) {
+	if name == "" {
+		return nil, errors.New("device: GPU needs a name")
+	}
+	if dev == nil || dev.Spec == nil {
+		return nil, errors.New("device: nil gpusim device")
+	}
+	return &GPU{name: name, dev: dev}, nil
+}
+
+// Name implements Device.
+func (g *GPU) Name() string { return g.name }
+
+// Kind implements Device.
+func (g *GPU) Kind() string { return "gpu" }
+
+// Spec implements Device.
+func (g *GPU) Spec() Spec {
+	return Spec{
+		CatalogName: g.dev.Spec.Name,
+		IdlePowerW:  g.dev.Spec.IdlePowerW,
+		TDPWatts:    g.dev.Spec.TDPWatts,
+	}
+}
+
+// Analytic implements AnalyticProvider: same device, constant analytic
+// power profile instead of the scheduler trace.
+func (g *GPU) Analytic() Device {
+	return &GPU{name: g.name, dev: g.dev, analytic: true}
+}
+
+// Underlying exposes the wrapped simulator for callers that need
+// GPU-specific extras (clock sweeps, ablations); the unified pipeline
+// itself never uses it.
+func (g *GPU) Underlying() *gpusim.Device { return g.dev }
+
+// GPUPoint is one dense-family configuration: the paper's three decision
+// variables.
+type GPUPoint struct {
+	C gpusim.MatMulConfig
+}
+
+// Key implements Config, e.g. "bs=24/g=1/r=8".
+func (p GPUPoint) Key() string {
+	return fmt.Sprintf("bs=%d/g=%d/r=%d", p.C.BS, p.C.G, p.C.R)
+}
+
+// String implements Config with the paper's notation.
+func (p GPUPoint) String() string { return p.C.String() }
+
+// FFTPoint is the single configuration of the GPU FFT family.
+type FFTPoint struct{}
+
+// Key implements Config.
+func (FFTPoint) Key() string { return "fft" }
+
+// String implements Config.
+func (FFTPoint) String() string { return "(fft)" }
+
+func (g *GPU) matmulWorkload(w Workload) gpusim.MatMulWorkload {
+	return gpusim.MatMulWorkload{N: w.N, Products: w.Products}
+}
+
+// Configs implements Device.
+func (g *GPU) Configs(w Workload) ([]Config, error) {
+	w = w.Normalized()
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	switch w.App {
+	case AppDense:
+		raw, err := g.dev.EnumerateConfigs(g.matmulWorkload(w))
+		if err != nil {
+			return nil, err
+		}
+		if len(raw) == 0 {
+			return nil, fmt.Errorf("device: %s admits no configurations for %v", g.name, w)
+		}
+		out := make([]Config, len(raw))
+		for i, c := range raw {
+			out[i] = GPUPoint{C: c}
+		}
+		return out, nil
+	case AppFFT:
+		if w.N < 2 {
+			return nil, fmt.Errorf("device: FFT size %d must be >= 2", w.N)
+		}
+		return []Config{FFTPoint{}}, nil
+	default:
+		return nil, fmt.Errorf("device: %s cannot run application %q", g.name, w.App)
+	}
+}
+
+// Run implements Device.
+func (g *GPU) Run(ctx context.Context, w Workload, c Config) (*Outcome, error) {
+	if err := checkCtx(ctx); err != nil {
+		return nil, err
+	}
+	w = w.Normalized()
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	idle := g.dev.Spec.IdlePowerW
+	switch p := c.(type) {
+	case GPUPoint:
+		if w.App != AppDense {
+			return nil, configMismatch(g, c)
+		}
+		if g.analytic {
+			r, err := g.dev.RunMatMul(g.matmulWorkload(w), p.C)
+			if err != nil {
+				return nil, err
+			}
+			return &Outcome{TrueSeconds: r.Seconds, TrueEnergyJ: r.DynEnergyJ, Run: r.Run(idle)}, nil
+		}
+		tr, err := g.dev.RunMatMulTraced(g.matmulWorkload(w), p.C)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{TrueSeconds: tr.TraceSeconds, TrueEnergyJ: tr.TraceEnergyJ, Run: tr.Run(idle)}, nil
+	case FFTPoint:
+		if w.App != AppFFT {
+			return nil, configMismatch(g, c)
+		}
+		r, err := g.dev.RunFFT2D(w.N)
+		if err != nil {
+			return nil, err
+		}
+		// Independent transforms run back to back.
+		n := float64(w.Products)
+		return &Outcome{
+			TrueSeconds: n * r.Seconds,
+			TrueEnergyJ: n * r.DynEnergyJ,
+			Run:         meter.ConstantRun{Seconds: n * r.Seconds, Watts: idle + r.DynPowerW},
+		}, nil
+	default:
+		return nil, configMismatch(g, c)
+	}
+}

@@ -1,0 +1,205 @@
+package device
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"energyprop/internal/hetero"
+	"energyprop/internal/hw"
+	"energyprop/internal/meter"
+)
+
+// maxHeteroProcs bounds the ensemble size so a distribution point can be
+// a comparable fixed-size value (usable as a map key).
+const maxHeteroProcs = 4
+
+// Hetero adapts a CPU+GPU ensemble. Its decision variables are the
+// workload distributions: every way of splitting the workload's Products
+// units across the ensemble's processors (the discrete space the
+// bi-objective distribution solver in internal/optimize searches). The
+// processors run their shares concurrently, so a point's time is the
+// slowest processor and its energy is the sum.
+type Hetero struct {
+	name     string
+	catalog  string
+	idleW    float64
+	labels   []string
+	platform func(unitN int) []hetero.Processor
+}
+
+// NewHetero wraps a platform builder: labels name the processors (short,
+// key-safe) and must match the builder's slice order; idleW is the
+// combined idle power of the ensemble's nodes.
+func NewHetero(name, catalog string, idleW float64, labels []string, platform func(unitN int) []hetero.Processor) (*Hetero, error) {
+	if name == "" {
+		return nil, errors.New("device: hetero needs a name")
+	}
+	if platform == nil {
+		return nil, errors.New("device: nil platform builder")
+	}
+	if len(labels) == 0 || len(labels) > maxHeteroProcs {
+		return nil, fmt.Errorf("device: hetero needs 1..%d processor labels, got %d", maxHeteroProcs, len(labels))
+	}
+	return &Hetero{name: name, catalog: catalog, idleW: idleW, labels: labels, platform: platform}, nil
+}
+
+// NewPaperHetero builds the paper's Fig 1 ensemble — the Haswell node,
+// the K40c, and the P100 — as a single measurable device.
+func NewPaperHetero(name string) *Hetero {
+	idle := hw.Haswell().IdlePowerW + hw.K40c().IdlePowerW + hw.P100().IdlePowerW
+	h, err := NewHetero(name, "Haswell + K40c + P100 (Fig 1 ensemble)", idle,
+		[]string{"haswell", "k40c", "p100"}, hetero.PaperPlatform)
+	if err != nil {
+		panic(err) // static arguments; unreachable
+	}
+	return h
+}
+
+// Name implements Device.
+func (h *Hetero) Name() string { return h.name }
+
+// Kind implements Device.
+func (h *Hetero) Kind() string { return "hetero" }
+
+// Spec implements Device.
+func (h *Hetero) Spec() Spec {
+	return Spec{CatalogName: h.catalog, IdlePowerW: h.idleW}
+}
+
+// HeteroPoint is one workload distribution: Units[i] units on processor
+// Labels[i], for i < NP.
+type HeteroPoint struct {
+	Units  [maxHeteroProcs]int
+	Labels [maxHeteroProcs]string
+	NP     int
+}
+
+// Key implements Config, e.g. "haswell=2/k40c=3/p100=3".
+func (p HeteroPoint) Key() string {
+	parts := make([]string, p.NP)
+	for i := 0; i < p.NP; i++ {
+		parts[i] = fmt.Sprintf("%s=%d", p.Labels[i], p.Units[i])
+	}
+	return strings.Join(parts, "/")
+}
+
+// String implements Config.
+func (p HeteroPoint) String() string {
+	parts := make([]string, p.NP)
+	for i := 0; i < p.NP; i++ {
+		parts[i] = fmt.Sprintf("%s=%d", p.Labels[i], p.Units[i])
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Configs implements Device: every composition of w.Products units over
+// the ensemble's processors, in lexicographic order. The workload is
+// validated by probing each processor with one unit, so a size no
+// processor can run surfaces here as an error rather than mid-campaign.
+func (h *Hetero) Configs(w Workload) ([]Config, error) {
+	w = w.Normalized()
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if w.App != AppDense {
+		return nil, fmt.Errorf("device: %s runs only the dense family, not %q", h.name, w.App)
+	}
+	procs := h.platform(w.N)
+	if len(procs) != len(h.labels) {
+		return nil, fmt.Errorf("device: %s platform has %d processors, %d labels", h.name, len(procs), len(h.labels))
+	}
+	for i, p := range procs {
+		if _, _, err := p.RunUnits(1); err != nil {
+			return nil, fmt.Errorf("device: %s processor %s cannot run N=%d: %w", h.name, h.labels[i], w.N, err)
+		}
+	}
+	var out []Config
+	var units [maxHeteroProcs]int
+	var labels [maxHeteroProcs]string
+	copy(labels[:], h.labels)
+	np := len(h.labels)
+	var emit func(i, left int)
+	emit = func(i, left int) {
+		if i == np-1 {
+			units[i] = left
+			out = append(out, HeteroPoint{Units: units, Labels: labels, NP: np})
+			return
+		}
+		for u := 0; u <= left; u++ {
+			units[i] = u
+			emit(i+1, left-u)
+		}
+	}
+	emit(0, w.Products)
+	return out, nil
+}
+
+// Run implements Device: each processor solves its share concurrently;
+// the point's time is the slowest share, its energy the sum, and its
+// power profile a staircase stepping down as processors finish.
+func (h *Hetero) Run(ctx context.Context, w Workload, c Config) (*Outcome, error) {
+	if err := checkCtx(ctx); err != nil {
+		return nil, err
+	}
+	w = w.Normalized()
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	p, ok := c.(HeteroPoint)
+	if !ok || p.NP != len(h.labels) {
+		return nil, configMismatch(h, c)
+	}
+	total := 0
+	for i := 0; i < p.NP; i++ {
+		total += p.Units[i]
+	}
+	if total != w.Products {
+		return nil, fmt.Errorf("device: distribution %v sums to %d units, workload has %d", c, total, w.Products)
+	}
+	procs := h.platform(w.N)
+	if len(procs) != p.NP {
+		return nil, configMismatch(h, c)
+	}
+	type share struct{ seconds, powerW float64 }
+	var shares []share
+	var maxSecs, sumEnergy float64
+	for i, proc := range procs {
+		if p.Units[i] == 0 {
+			continue
+		}
+		secs, energy, err := proc.RunUnits(p.Units[i])
+		if err != nil {
+			return nil, fmt.Errorf("device: %s processor %s: %w", h.name, h.labels[i], err)
+		}
+		if secs <= 0 {
+			return nil, fmt.Errorf("device: %s processor %s reported non-positive time", h.name, h.labels[i])
+		}
+		shares = append(shares, share{seconds: secs, powerW: energy / secs})
+		if secs > maxSecs {
+			maxSecs = secs
+		}
+		sumEnergy += energy
+	}
+	if len(shares) == 0 {
+		return nil, fmt.Errorf("device: distribution %v assigns no units", c)
+	}
+	// Staircase: between consecutive finish times the active set is the
+	// shares still running.
+	sort.Slice(shares, func(i, j int) bool { return shares[i].seconds < shares[j].seconds })
+	run := &meter.SegmentRun{}
+	prev := 0.0
+	for i, s := range shares {
+		if s.seconds > prev {
+			active := 0.0
+			for _, rest := range shares[i:] {
+				active += rest.powerW
+			}
+			run.AddSegment(s.seconds-prev, h.idleW+active)
+			prev = s.seconds
+		}
+	}
+	return &Outcome{TrueSeconds: maxSecs, TrueEnergyJ: sumEnergy, Run: run}, nil
+}

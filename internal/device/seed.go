@@ -1,0 +1,24 @@
+package device
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// ConfigSeed derives the meter seed for one configuration by mixing the
+// campaign seed with the configuration's canonical key (FNV-1a over the
+// little-endian seed followed by the key bytes). A point's measurement is
+// therefore a pure function of (campaign seed, configuration identity) —
+// independent of sweep order, worker count, and backend-specific struct
+// layout. This is the successor of campaign's hashed (seed, BS, G, R)
+// helper, generalized to any backend via Config.Key; it replaces the
+// historical spec.Seed + i*7919 scheme whose meaning changed whenever the
+// enumeration order did.
+func ConfigSeed(seed int64, c Config) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(seed))
+	h.Write(buf[:])
+	h.Write([]byte(c.Key()))
+	return int64(h.Sum64())
+}

@@ -2,7 +2,7 @@ package experiment
 
 import (
 	"energyprop/internal/campaign"
-	"energyprop/internal/gpusim"
+	"energyprop/internal/device"
 	"energyprop/internal/pareto"
 )
 
@@ -20,8 +20,11 @@ func runCampaign(opt Options) ([]*Table, error) {
 	if opt.Quick {
 		n = 4096
 	}
-	dev := gpusim.NewP100()
-	w := gpusim.MatMulWorkload{N: n, Products: 8}
+	dev, err := device.Open("p100")
+	if err != nil {
+		return nil, err
+	}
+	w := device.Workload{N: n, Products: 8}
 	if opt.Quick {
 		w.Products = 2
 	}
@@ -33,7 +36,7 @@ func runCampaign(opt Options) ([]*Table, error) {
 	}
 
 	t := &Table{
-		Title:   "Measured campaign on " + dev.Spec.Name + ", N=" + f(float64(n), 0),
+		Title:   "Measured campaign on " + res.Device + ", N=" + f(float64(n), 0),
 		Columns: []string{"config", "true_energy_j", "measured_j", "ci_halfwidth_j", "runs", "rel_err_pct"},
 	}
 	var truth, measured []pareto.Point

@@ -16,6 +16,8 @@ var determScoped = map[string]bool{
 	"energyprop/internal/meter":      true,
 	"energyprop/internal/sched":      true,
 	"energyprop/internal/campaign":   true,
+	"energyprop/internal/device":     true,
+	"energyprop/internal/service":    true,
 	"energyprop/internal/experiment": true,
 }
 

@@ -10,24 +10,40 @@ import (
 // seedFlowScoped is the set of packages where per-point seeding happens.
 // Here a rand.NewSource argument IS the measurement's identity: PR 1's
 // order-independence proof rests on every meter seed being a pure
-// function of (campaign seed, BS, G, R), which the hashed configSeed
-// helper computes. A seed built from a loop index or slice position
-// reintroduces exactly the historical `spec.Seed + i*7919` bug.
+// function of (campaign seed, config identity), which the hashed
+// device.ConfigSeed helper computes. A seed built from a loop index or
+// slice position reintroduces exactly the historical `spec.Seed + i*7919`
+// bug.
 var seedFlowScoped = map[string]bool{
 	"energyprop/internal/campaign": true,
+	"energyprop/internal/device":   true,
 	"energyprop/internal/meter":    true,
+	"energyprop/internal/service":  true,
+}
+
+// seedFlowStrict is the subset of scoped packages where the device-generic
+// seed helper is the only blessed source: campaign and service code sit
+// above the device abstraction, so any rand generator they build must get
+// its seed through a seed-named mixing helper (device.ConfigSeed). Meter
+// and device stay on the lenient rule — they are the layers that *receive*
+// an already-derived seed value.
+var seedFlowStrict = map[string]bool{
+	"energyprop/internal/campaign": true,
+	"energyprop/internal/service":  true,
 }
 
 // SeedFlow checks that every rand.NewSource / rand.NewPCG argument in
-// campaign and meter code derives from a seed value (an identifier,
-// field, or helper whose name mentions "seed", such as configSeed), and
-// never references the index variable of an enclosing loop.
+// measurement-pipeline code derives from a seed value (an identifier,
+// field, or helper whose name mentions "seed"), never references the
+// index variable of an enclosing loop, and — in the strict packages
+// above the device abstraction — flows through a seed-derivation helper
+// call such as device.ConfigSeed rather than a raw seed field.
 type SeedFlow struct{}
 
 func (SeedFlow) Name() string { return "seedflow" }
 
 func (SeedFlow) Doc() string {
-	return "rand seeds in campaign/meter code must derive from the hashed (seed, BS, G, R) identity, never a loop index"
+	return "rand seeds in measurement-pipeline code must derive from the hashed (seed, config) identity via device.ConfigSeed, never a loop index"
 }
 
 // seedSources are the math/rand constructors whose arguments carry seed
@@ -61,13 +77,19 @@ func (SeedFlow) Check(pkg *Package) []Finding {
 			for _, arg := range call.Args {
 				if id := loopVarOutsideSeedHelper(pkg.Info, arg, loopVars); id != nil {
 					out = append(out, pkg.findingf(arg, "seedflow",
-						"seed for rand.%s derives from loop variable %q, making the record depend on sweep order; derive it from the hashed (seed, BS, G, R) identity",
+						"seed for rand.%s derives from loop variable %q, making the record depend on sweep order; derive it from the hashed (seed, config) identity",
 						name, id.Name))
+					continue
+				}
+				if seedFlowStrict[pkg.Path] && !hasSeedHelperCall(arg) {
+					out = append(out, pkg.findingf(arg, "seedflow",
+						"seed for rand.%s is %s, which bypasses the device-generic seed helper; derive it via device.ConfigSeed(seed, config) so every backend shares one seeding contract",
+						name, exprString(pkg.Fset, arg)))
 					continue
 				}
 				if !mentionsSeed(arg) {
 					out = append(out, pkg.findingf(arg, "seedflow",
-						"seed for rand.%s is %s, which does not derive from a campaign seed; thread the seed (e.g. via the hashed configSeed helper) instead",
+						"seed for rand.%s is %s, which does not derive from a campaign seed; thread the seed (e.g. via the hashed device.ConfigSeed helper) instead",
 						name, exprString(pkg.Fset, arg)))
 				}
 			}
@@ -138,8 +160,27 @@ func loopVarOutsideSeedHelper(info *types.Info, expr ast.Expr, objs map[types.Ob
 	return found
 }
 
+// hasSeedHelperCall reports whether the expression contains a call to a
+// seed-named derivation helper (device.ConfigSeed, configSeed, ...). In
+// strict packages this is the only sanctioned way to turn a campaign
+// seed into a generator seed.
+func hasSeedHelperCall(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if c, ok := n.(*ast.CallExpr); ok && calleeMentionsSeed(c) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
 // calleeMentionsSeed reports whether the call's function name contains
-// "seed" (configSeed, DeriveSeed, ...).
+// "seed" (ConfigSeed, configSeed, DeriveSeed, ...).
 func calleeMentionsSeed(c *ast.CallExpr) bool {
 	var name string
 	switch fun := ast.Unparen(c.Fun).(type) {

@@ -39,9 +39,66 @@ import "math/rand"
 func bad() *rand.Rand {
 	return rand.New(rand.NewSource(42))
 }
+
+// The meter is the layer that receives an already-derived seed: passing
+// the raw value on is the lenient rule, and stays allowed here.
+func goodDirect(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
 `
 	checkFixture(t, []Rule{SeedFlow{}}, "energyprop/internal/meter", src, []want{
 		{line: 6, rule: "seedflow", substr: "does not derive from a campaign seed"},
+	})
+}
+
+func TestSeedFlowStrictRequiresHelperInCampaign(t *testing.T) {
+	// Above the device abstraction, even a seed-named field is not enough:
+	// the generator seed must flow through the derivation helper, or two
+	// backends could end up with different seeding contracts.
+	src := `package campaign
+
+import "math/rand"
+
+func badDirect(spec struct{ Seed int64 }) *rand.Rand {
+	return rand.New(rand.NewSource(spec.Seed))
+}
+`
+	checkFixture(t, []Rule{SeedFlow{}}, "energyprop/internal/campaign", src, []want{
+		{line: 6, rule: "seedflow", substr: "bypasses the device-generic seed helper"},
+	})
+}
+
+func TestSeedFlowStrictAppliesToService(t *testing.T) {
+	src := `package service
+
+import "math/rand"
+
+func bad(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+`
+	checkFixture(t, []Rule{SeedFlow{}}, "energyprop/internal/service", src, []want{
+		{line: 6, rule: "seedflow", substr: "bypasses the device-generic seed helper"},
+	})
+}
+
+func TestSeedFlowLenientInDevicePackage(t *testing.T) {
+	// The device package hosts ConfigSeed itself; an adapter threading a
+	// seed value through is in scope but held to the lenient rule only.
+	src := `package device
+
+import "math/rand"
+
+func adapterRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func bad() *rand.Rand {
+	return rand.New(rand.NewSource(7))
+}
+`
+	checkFixture(t, []Rule{SeedFlow{}}, "energyprop/internal/device", src, []want{
+		{line: 10, rule: "seedflow", substr: "does not derive from a campaign seed"},
 	})
 }
 
@@ -68,10 +125,6 @@ func good(seed int64, configs []int) []*rand.Rand {
 		out = append(out, rand.New(rand.NewSource(configSeed(seed, bs, 1, 1))))
 	}
 	return out
-}
-
-func goodDirect(spec struct{ Seed int64 }) *rand.Rand {
-	return rand.New(rand.NewSource(spec.Seed))
 }
 `
 	checkFixture(t, []Rule{SeedFlow{}}, "energyprop/internal/campaign", src, nil)

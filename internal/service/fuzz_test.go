@@ -32,15 +32,23 @@ var fuzzSeeds = []string{
 	`{"device":"p100"}`,
 	`{"device":"gtx480","workload":{"N":1024,"Products":1}}`,
 	`{"device":"p100","bogus":1}`,
+	`{"device":"p100","workload":{"N":1024,"Products":2},"config":"bs=8/g=1/r=2","seed":1}`,
 	`{"device":"p100","workload":{"N":1024,"Products":2},"config":{"BS":8,"G":1,"R":2},"seed":1}`,
 	`{"device":"k40c","workload":{"N":4096,"Products":2},"seed":3,"workers":2}`,
+	`{"device":"haswell","workload":{"N":48,"Products":1},"seed":5,"workers":2}`,
+	`{"device":"haswell","workload":{"N":96,"Products":1},"config":"contiguous/p=2/t=4","seed":5}`,
+	`{"device":"legacy-xeon","workload":{"N":32,"Products":1},"seed":5}`,
+	`{"device":"hetero","workload":{"N":256,"Products":2},"seed":5}`,
+	`{"device":"hetero","workload":{"N":8,"Products":2},"seed":5}`,
+	`{"device":"k40c","workload":{"app":"fft","N":1024,"Products":1},"config":"fft","seed":5}`,
+	`{"device":"haswell","workload":{"app":"raytrace","N":64,"Products":1}}`,
 	`{"device":"p100","workload":{"N":-5,"Products":2}}`,
 	`{"device":"p100","workload":{"N":99999999999,"Products":8}}`,
 	`{"device":"p100","workload":{"N":10240,"Products":9223372036854775807}}`,
 	`{"device":"p100","workload":{"N":10240,"Products":8},"workers":-1}`,
 	`{"device":"p100","workload":{"N":10240,"Products":8},"workers":100000}`,
 	`{"device":"p100","workload":{"N":1e30,"Products":1}}`,
-	`{"device":"p100","workload":{"N":1024,"Products":2},"config":{"BS":-1,"G":0,"R":0}}`,
+	`{"device":"p100","workload":{"N":1024,"Products":2},"config":"bs=-1/g=0/r=0"}`,
 	`{"seed":` + strings.Repeat("9", 400) + `}`,
 }
 

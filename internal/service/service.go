@@ -2,20 +2,25 @@
 // running HCLWattsUp as a lab service that experiment scripts call into:
 //
 //	GET  /healthz                         liveness
-//	GET  /devices                         the simulated device catalog
+//	GET  /devices                         the registered device catalog
+//	                                      (GPU, CPU, and hetero backends)
 //	POST /measure   {device, workload, config, seed}
-//	                                      one configuration, measured with
-//	                                      the paper's statistical loop
+//	                                      one configuration (by its key,
+//	                                      e.g. "bs=24/g=1/r=8"), measured
+//	                                      with the paper's statistical loop
 //	POST /sweep     {device, workload, seed, workers}
 //	                                      a full measured campaign,
-//	                                      returned as a store.SweepRecord
+//	                                      returned as a store.CampaignRecord
 //
 // All bodies are JSON. Unknown fields are rejected so client typos
-// surface as errors rather than silently defaulted parameters. Sweeps
-// run on the parallel campaign engine: "workers" bounds the fan-out
-// (default GOMAXPROCS) without changing the returned record, and a
-// client that disconnects mid-campaign cancels the worker pool through
-// the request context.
+// surface as errors rather than silently defaulted parameters. Devices
+// come from the internal/device registry, so every registered backend —
+// k40c, p100, haswell, legacy-xeon, hetero — is measurable through the
+// same campaign engine; an unknown device name gets a 400 listing the
+// known ones. Sweeps run on the parallel campaign engine: "workers"
+// bounds the fan-out (default GOMAXPROCS) without changing the returned
+// record, and a client that disconnects mid-campaign cancels the worker
+// pool through the request context.
 package service
 
 import (
@@ -26,16 +31,14 @@ import (
 	"net/http"
 
 	"energyprop/internal/campaign"
-	"energyprop/internal/gpusim"
-	"energyprop/internal/meter"
-	"energyprop/internal/stats"
+	"energyprop/internal/device"
 )
 
 // Request ceilings. The meter samples runs at WattsUp rate (seconds of
 // simulated time per sample), so a workload's simulated duration bounds
 // the service's memory and CPU per request; these caps keep any single
 // request within a sane envelope while comfortably covering the paper's
-// largest study (N=18432, Products=8).
+// largest study (N=18432, Products=8). They apply to every backend.
 const (
 	// MaxRequestN is the largest accepted matrix dimension.
 	MaxRequestN = 32768
@@ -47,7 +50,7 @@ const (
 
 // checkWorkloadLimits rejects workloads that validate structurally but
 // exceed the service's resource envelope.
-func checkWorkloadLimits(w gpusim.MatMulWorkload) error {
+func checkWorkloadLimits(w device.Workload) error {
 	if w.N > MaxRequestN {
 		return fmt.Errorf("workload N=%d exceeds service limit %d", w.N, MaxRequestN)
 	}
@@ -57,11 +60,25 @@ func checkWorkloadLimits(w gpusim.MatMulWorkload) error {
 	return nil
 }
 
-// deviceFactories maps the API device names to constructors. Each request
-// builds a fresh device so ablation state cannot leak between calls.
-var deviceFactories = map[string]func() *gpusim.Device{
-	"k40c": gpusim.NewK40c,
-	"p100": gpusim.NewP100,
+// openDevice resolves a request's device name through the registry. Each
+// request gets a fresh instance so ablation state cannot leak between
+// calls; the error for an unknown name enumerates the registered ones.
+func openDevice(name string) (device.Device, error) {
+	if name == "" {
+		return nil, fmt.Errorf("missing device name (known: %s)", deviceNames())
+	}
+	return device.Open(name)
+}
+
+func deviceNames() string {
+	out := ""
+	for i, name := range device.List() {
+		if i > 0 {
+			out += ", "
+		}
+		out += name
+	}
+	return out
 }
 
 // Server is the HTTP measurement service.
@@ -97,37 +114,69 @@ func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
 	}
 	type deviceInfo struct {
 		Name     string  `json:"name"`
+		Kind     string  `json:"kind"`
 		Catalog  string  `json:"catalog_name"`
 		TDPWatts float64 `json:"tdp_watts"`
 		IdleW    float64 `json:"idle_power_w"`
 	}
 	var out []deviceInfo
-	for _, name := range []string{"k40c", "p100"} {
-		d := deviceFactories[name]()
+	for _, name := range device.List() {
+		d, err := device.Open(name)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		spec := d.Spec()
 		out = append(out, deviceInfo{
-			Name: name, Catalog: d.Spec.Name,
-			TDPWatts: d.Spec.TDPWatts, IdleW: d.Spec.IdlePowerW,
+			Name: name, Kind: d.Kind(), Catalog: spec.CatalogName,
+			TDPWatts: spec.TDPWatts, IdleW: spec.IdlePowerW,
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-// MeasureRequest is the /measure body.
+// MeasureRequest is the /measure body. Config is the configuration's
+// canonical key as enumerated by the device — "bs=24/g=1/r=8" on a GPU,
+// "contiguous/p=2/t=12" on a CPU, "haswell=2/k40c=3/p100=3" on the
+// hetero ensemble.
 type MeasureRequest struct {
-	Device   string                `json:"device"`
-	Workload gpusim.MatMulWorkload `json:"workload"`
-	Config   gpusim.MatMulConfig   `json:"config"`
-	Seed     int64                 `json:"seed"`
+	Device   string          `json:"device"`
+	Workload device.Workload `json:"workload"`
+	Config   string          `json:"config"`
+	Seed     int64           `json:"seed"`
 }
 
 // MeasureResponse is the /measure reply.
 type MeasureResponse struct {
 	Device          string  `json:"device"`
 	Config          string  `json:"config"`
+	Key             string  `json:"key"`
 	Seconds         float64 `json:"seconds"`
 	MeasuredEnergyJ float64 `json:"measured_energy_j"`
 	HalfWidthJ      float64 `json:"ci_halfwidth_j"`
 	Runs            int     `json:"runs"`
+}
+
+// resolveRequest validates the shared (device, workload) part of a
+// request body and returns the opened device, the normalized workload,
+// and its enumerated configurations. All failures are client errors.
+func resolveRequest(name string, w device.Workload) (device.Device, device.Workload, []device.Config, error) {
+	dev, err := openDevice(name)
+	if err != nil {
+		return nil, w, nil, err
+	}
+	w = w.Normalized()
+	if err := w.Validate(); err != nil {
+		return nil, w, nil, err
+	}
+	if err := checkWorkloadLimits(w); err != nil {
+		return nil, w, nil, err
+	}
+	configs, err := dev.Configs(w)
+	if err != nil {
+		return nil, w, nil, err
+	}
+	return dev, w, configs, nil
 }
 
 func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
@@ -140,63 +189,51 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	factory, ok := deviceFactories[req.Device]
-	if !ok {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown device %q (want k40c or p100)", req.Device))
-		return
-	}
-	dev := factory()
-	if err := dev.ValidateConfig(req.Workload, req.Config); err != nil {
+	dev, wl, configs, err := resolveRequest(req.Device, req.Workload)
+	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if err := checkWorkloadLimits(req.Workload); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	tr, err := dev.RunMatMulTraced(req.Workload, req.Config)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	spec := campaign.DefaultSpec(req.Seed)
-	meas, err := measureOne(dev, tr, spec)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	writeJSON(w, http.StatusOK, MeasureResponse{
-		Device:          dev.Spec.Name,
-		Config:          req.Config.String(),
-		Seconds:         tr.TraceSeconds,
-		MeasuredEnergyJ: meas.Mean,
-		HalfWidthJ:      meas.HalfWidth,
-		Runs:            meas.Runs,
-	})
-}
-
-// measureOne applies the statistical loop to a traced run.
-func measureOne(dev *gpusim.Device, tr *gpusim.TracedResult, spec campaign.Spec) (*stats.Measurement, error) {
-	run := tr.Run(dev.Spec.IdlePowerW)
-	m := meter.NewMeter(dev.Spec.IdlePowerW, spec.Seed)
-	m.NoiseFrac = spec.NoiseFrac
-	if d := run.Duration(); d < 50 {
-		m.SampleInterval = d / 50 // resolve short kernels (see campaign.Run)
-	}
-	return stats.Measure(spec.Measure, func() (float64, error) {
-		rep, err := m.MeasureRun(run)
-		if err != nil {
-			return 0, err
+	var chosen device.Config
+	for _, c := range configs {
+		if c.Key() == req.Config {
+			chosen = c
+			break
 		}
-		return rep.DynamicEnergyJ, nil
+	}
+	if chosen == nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf(
+			"unknown config %q for device %q (%d valid configurations, e.g. %q)",
+			req.Config, req.Device, len(configs), configs[0].Key()))
+		return
+	}
+	// One-point campaign: /measure flows through the same RunConfigs
+	// path as full sweeps, so seeding and statistics are identical.
+	res, err := campaign.RunConfigs(r.Context(), dev, wl, []device.Config{chosen}, campaign.DefaultSpec(req.Seed))
+	if err != nil {
+		if requestGone(err) {
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	p := res.Points[0]
+	writeJSON(w, http.StatusOK, MeasureResponse{
+		Device:          res.Device,
+		Config:          p.Config.String(),
+		Key:             p.Config.Key(),
+		Seconds:         p.TrueSeconds,
+		MeasuredEnergyJ: p.MeasuredEnergyJ,
+		HalfWidthJ:      p.HalfWidthJ,
+		Runs:            p.Runs,
 	})
 }
 
 // SweepRequest is the /sweep body.
 type SweepRequest struct {
-	Device   string                `json:"device"`
-	Workload gpusim.MatMulWorkload `json:"workload"`
-	Seed     int64                 `json:"seed"`
+	Device   string          `json:"device"`
+	Workload device.Workload `json:"workload"`
+	Seed     int64           `json:"seed"`
 	// Workers bounds the campaign's fan-out; 0 means GOMAXPROCS. The
 	// returned record is identical for every worker count.
 	Workers int `json:"workers"`
@@ -212,30 +249,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	factory, ok := deviceFactories[req.Device]
-	if !ok {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown device %q (want k40c or p100)", req.Device))
-		return
-	}
-	dev := factory()
-	if err := req.Workload.Validate(); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	if err := checkWorkloadLimits(req.Workload); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
 	if req.Workers < 0 || req.Workers > MaxRequestWorkers {
 		httpError(w, http.StatusBadRequest,
 			fmt.Sprintf("workers=%d out of range 0..%d", req.Workers, MaxRequestWorkers))
 		return
 	}
+	dev, wl, configs, err := resolveRequest(req.Device, req.Workload)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	spec := campaign.DefaultSpec(req.Seed)
 	spec.Workers = req.Workers
-	res, err := campaign.RunContext(r.Context(), dev, req.Workload, spec)
+	res, err := campaign.RunConfigs(r.Context(), dev, wl, configs, spec)
 	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if requestGone(err) {
 			// The client is gone (or timed out); nothing useful to write.
 			return
 		}
@@ -248,6 +276,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, rec)
+}
+
+// requestGone reports whether a campaign error is the request context
+// being cancelled rather than a measurement failure.
+func requestGone(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 func decodeJSON(r *http.Request, dst any) error {

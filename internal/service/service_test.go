@@ -9,7 +9,7 @@ import (
 	"strings"
 	"testing"
 
-	"energyprop/internal/gpusim"
+	"energyprop/internal/device"
 	"energyprop/internal/store"
 )
 
@@ -51,7 +51,7 @@ func TestHealthzMethodNotAllowed(t *testing.T) {
 	}
 }
 
-func TestDevices(t *testing.T) {
+func TestDevicesListsRegistry(t *testing.T) {
 	ts := newTestServer(t)
 	resp, err := http.Get(ts.URL + "/devices")
 	if err != nil {
@@ -59,17 +59,25 @@ func TestDevices(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	var devices []struct {
-		Name    string `json:"name"`
-		Catalog string `json:"catalog_name"`
+		Name    string  `json:"name"`
+		Kind    string  `json:"kind"`
+		Catalog string  `json:"catalog_name"`
+		IdleW   float64 `json:"idle_power_w"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&devices); err != nil {
 		t.Fatal(err)
 	}
-	if len(devices) != 2 {
-		t.Fatalf("%d devices, want 2", len(devices))
+	want := device.List()
+	if len(devices) != len(want) {
+		t.Fatalf("%d devices, want %d (%v)", len(devices), len(want), want)
 	}
-	if devices[0].Name != "k40c" || devices[1].Name != "p100" {
-		t.Errorf("devices %v", devices)
+	for i, d := range devices {
+		if d.Name != want[i] {
+			t.Errorf("device %d is %q, want %q (registry order)", i, d.Name, want[i])
+		}
+		if d.Kind == "" || d.Catalog == "" || d.IdleW <= 0 {
+			t.Errorf("device %q incomplete: %+v", d.Name, d)
+		}
 	}
 }
 
@@ -91,13 +99,14 @@ func TestMeasureEndpoint(t *testing.T) {
 	ts := newTestServer(t)
 	req := MeasureRequest{
 		Device:   "p100",
-		Workload: gpusim.MatMulWorkload{N: 4096, Products: 2},
-		Config:   gpusim.MatMulConfig{BS: 24, G: 1, R: 2},
+		Workload: device.Workload{N: 4096, Products: 2},
+		Config:   "bs=24/g=1/r=2",
 		Seed:     1,
 	}
 	resp := postJSON(t, ts.URL+"/measure", req)
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status %d", resp.StatusCode)
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
 	var out MeasureResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
@@ -106,8 +115,34 @@ func TestMeasureEndpoint(t *testing.T) {
 	if out.MeasuredEnergyJ <= 0 || out.Seconds <= 0 || out.Runs < 2 {
 		t.Errorf("response %+v", out)
 	}
-	if out.Config != "(BS=24, G=1, R=2)" {
-		t.Errorf("config %q", out.Config)
+	if out.Config != "(BS=24, G=1, R=2)" || out.Key != "bs=24/g=1/r=2" {
+		t.Errorf("config %q key %q", out.Config, out.Key)
+	}
+}
+
+func TestMeasureCPUDevice(t *testing.T) {
+	// The same endpoint measures a CPU decomposition through the same
+	// campaign path.
+	ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/measure", MeasureRequest{
+		Device:   "haswell",
+		Workload: device.Workload{N: 96, Products: 1},
+		Config:   "contiguous/p=2/t=4",
+		Seed:     2,
+	})
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out MeasureResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.MeasuredEnergyJ <= 0 || out.Runs < 2 {
+		t.Errorf("response %+v", out)
+	}
+	if !strings.Contains(out.Device, "Haswell") {
+		t.Errorf("device %q, want the Haswell catalog name", out.Device)
 	}
 }
 
@@ -119,8 +154,11 @@ func TestMeasureRejectsBadRequests(t *testing.T) {
 	}{
 		{"garbage", "{not json"},
 		{"unknown field", `{"device":"p100","bogus":1}`},
-		{"unknown device", `{"device":"gtx480","workload":{"N":1024,"Products":1},"config":{"BS":8,"G":1,"R":1}}`},
-		{"invalid config", `{"device":"p100","workload":{"N":1024,"Products":4},"config":{"BS":32,"G":8,"R":1}}`},
+		{"unknown device", `{"device":"gtx480","workload":{"N":1024,"Products":1},"config":"bs=8/g=1/r=1"}`},
+		{"legacy object config", `{"device":"p100","workload":{"N":1024,"Products":4},"config":{"BS":32,"G":8,"R":1}}`},
+		{"invalid config", `{"device":"p100","workload":{"N":1024,"Products":4},"config":"bs=32/g=8/r=1"}`},
+		{"foreign config", `{"device":"haswell","workload":{"N":96,"Products":1},"config":"bs=8/g=1/r=1"}`},
+		{"unknown app", `{"device":"p100","workload":{"app":"raytrace","N":1024,"Products":1},"config":"fft"}`},
 	}
 	for _, tc := range cases {
 		resp, err := http.Post(ts.URL+"/measure", "application/json", strings.NewReader(tc.body))
@@ -143,23 +181,71 @@ func TestMeasureRejectsBadRequests(t *testing.T) {
 	}
 }
 
+func TestUnknownDeviceListsKnownNames(t *testing.T) {
+	// The 400 for an unknown device enumerates the registered names, so
+	// clients can self-correct without a second round trip to /devices.
+	ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/sweep", SweepRequest{
+		Device:   "gtx480",
+		Workload: device.Workload{N: 1024, Products: 1},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range device.List() {
+		if !strings.Contains(body["error"], name) {
+			t.Errorf("error %q does not list known device %q", body["error"], name)
+		}
+	}
+}
+
 func TestSweepEndpointRoundTrip(t *testing.T) {
 	ts := newTestServer(t)
 	resp := postJSON(t, ts.URL+"/sweep", SweepRequest{
 		Device:   "k40c",
-		Workload: gpusim.MatMulWorkload{N: 4096, Products: 2},
+		Workload: device.Workload{N: 4096, Products: 2},
 		Seed:     3,
 	})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	// The reply must be a loadable store.SweepRecord.
-	rec, err := store.Load(resp.Body)
+	// The reply must be a loadable store.CampaignRecord.
+	rec, err := store.LoadCampaign(resp.Body)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rec.Device != "NVIDIA K40c" || len(rec.Results) == 0 {
+	if rec.Device != "NVIDIA K40c" || rec.Kind != "gpu" || len(rec.Results) == 0 {
 		t.Errorf("record %+v", rec)
+	}
+}
+
+func TestSweepCPUAndHeteroDevices(t *testing.T) {
+	// One code path serves every backend: CPU and hetero sweeps return
+	// the same record schema the GPU sweeps use.
+	ts := newTestServer(t)
+	for _, tc := range []struct {
+		req  SweepRequest
+		kind string
+	}{
+		{SweepRequest{Device: "haswell", Workload: device.Workload{N: 64, Products: 1}, Seed: 5}, "cpu"},
+		{SweepRequest{Device: "hetero", Workload: device.Workload{N: 256, Products: 3}, Seed: 5}, "hetero"},
+	} {
+		resp := postJSON(t, ts.URL+"/sweep", tc.req)
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("%s: status %d: %s", tc.req.Device, resp.StatusCode, body)
+		}
+		rec, err := store.LoadCampaign(resp.Body)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.req.Device, err)
+		}
+		if rec.Kind != tc.kind || len(rec.Results) == 0 {
+			t.Errorf("%s: record kind %q with %d results", tc.req.Device, rec.Kind, len(rec.Results))
+		}
 	}
 }
 
@@ -167,40 +253,58 @@ func TestSweepRejectsBadWorkload(t *testing.T) {
 	ts := newTestServer(t)
 	resp := postJSON(t, ts.URL+"/sweep", SweepRequest{
 		Device:   "p100",
-		Workload: gpusim.MatMulWorkload{N: 0, Products: 1},
+		Workload: device.Workload{N: 0, Products: 1},
 	})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	// A hetero workload its CPU processor cannot run fails as a client
+	// error before the campaign starts, not a 500 mid-sweep.
+	resp = postJSON(t, ts.URL+"/sweep", SweepRequest{
+		Device:   "hetero",
+		Workload: device.Workload{N: 8, Products: 2},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("hetero N=8: status %d, want 400", resp.StatusCode)
 	}
 }
 
 func TestSweepWorkersFieldDeterministic(t *testing.T) {
 	// The workers field tunes throughput only: any fan-out must return
-	// the byte-identical record.
+	// the byte-identical record. Checked on a GPU and a CPU backend.
 	ts := newTestServer(t)
-	get := func(workers int) []byte {
-		resp := postJSON(t, ts.URL+"/sweep", SweepRequest{
-			Device:   "p100",
-			Workload: gpusim.MatMulWorkload{N: 4096, Products: 2},
-			Seed:     7,
-			Workers:  workers,
-		})
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("workers=%d: status %d", workers, resp.StatusCode)
+	for _, tc := range []struct {
+		dev string
+		w   device.Workload
+	}{
+		{"p100", device.Workload{N: 4096, Products: 2}},
+		{"haswell", device.Workload{N: 48, Products: 1}},
+	} {
+		get := func(workers int) []byte {
+			resp := postJSON(t, ts.URL+"/sweep", SweepRequest{
+				Device:   tc.dev,
+				Workload: tc.w,
+				Seed:     7,
+				Workers:  workers,
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s workers=%d: status %d", tc.dev, workers, resp.StatusCode)
+			}
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return body
 		}
-		body, err := io.ReadAll(resp.Body)
-		if err != nil {
-			t.Fatal(err)
+		serial, parallel := get(1), get(8)
+		if !bytes.Equal(serial, parallel) {
+			t.Errorf("%s: records differ between workers=1 and workers=8:\n%s\n%s", tc.dev, serial, parallel)
 		}
-		return body
-	}
-	serial, parallel := get(1), get(8)
-	if !bytes.Equal(serial, parallel) {
-		t.Errorf("records differ between workers=1 and workers=8:\n%s\n%s", serial, parallel)
 	}
 }
 
 func TestRequestLimits(t *testing.T) {
+	// The caps bound every backend, not just GPUs.
 	ts := newTestServer(t)
 	cases := []struct {
 		name string
@@ -208,17 +312,27 @@ func TestRequestLimits(t *testing.T) {
 		body any
 	}{
 		{"sweep N too large", "/sweep", SweepRequest{
-			Device: "p100", Workload: gpusim.MatMulWorkload{N: MaxRequestN + 1, Products: 2}}},
+			Device: "p100", Workload: device.Workload{N: MaxRequestN + 1, Products: 2}}},
 		{"sweep products too large", "/sweep", SweepRequest{
-			Device: "p100", Workload: gpusim.MatMulWorkload{N: 1024, Products: MaxRequestProducts + 1}}},
+			Device: "p100", Workload: device.Workload{N: 1024, Products: MaxRequestProducts + 1}}},
 		{"sweep workers negative", "/sweep", SweepRequest{
-			Device: "p100", Workload: gpusim.MatMulWorkload{N: 1024, Products: 2}, Workers: -1}},
+			Device: "p100", Workload: device.Workload{N: 1024, Products: 2}, Workers: -1}},
 		{"sweep workers too large", "/sweep", SweepRequest{
-			Device: "p100", Workload: gpusim.MatMulWorkload{N: 1024, Products: 2}, Workers: MaxRequestWorkers + 1}},
+			Device: "p100", Workload: device.Workload{N: 1024, Products: 2}, Workers: MaxRequestWorkers + 1}},
 		{"measure N too large", "/measure", MeasureRequest{
 			Device:   "p100",
-			Workload: gpusim.MatMulWorkload{N: MaxRequestN + 1, Products: 2},
-			Config:   gpusim.MatMulConfig{BS: 8, G: 1, R: 2}}},
+			Workload: device.Workload{N: MaxRequestN + 1, Products: 2},
+			Config:   "bs=8/g=1/r=2"}},
+		{"cpu sweep N too large", "/sweep", SweepRequest{
+			Device: "haswell", Workload: device.Workload{N: MaxRequestN + 1, Products: 1}}},
+		{"cpu measure products too large", "/measure", MeasureRequest{
+			Device:   "haswell",
+			Workload: device.Workload{N: 1024, Products: MaxRequestProducts + 1},
+			Config:   "contiguous/p=1/t=1"}},
+		{"hetero sweep products too large", "/sweep", SweepRequest{
+			Device: "hetero", Workload: device.Workload{N: 256, Products: MaxRequestProducts + 1}}},
+		{"hetero workers too large", "/sweep", SweepRequest{
+			Device: "hetero", Workload: device.Workload{N: 256, Products: 2}, Workers: MaxRequestWorkers + 1}},
 	}
 	for _, tc := range cases {
 		resp := postJSON(t, ts.URL+tc.path, tc.body)
@@ -232,8 +346,8 @@ func TestMeasureDeterministicPerSeed(t *testing.T) {
 	ts := newTestServer(t)
 	req := MeasureRequest{
 		Device:   "k40c",
-		Workload: gpusim.MatMulWorkload{N: 4096, Products: 2},
-		Config:   gpusim.MatMulConfig{BS: 32, G: 1, R: 2},
+		Workload: device.Workload{N: 4096, Products: 2},
+		Config:   "bs=32/g=1/r=2",
 		Seed:     42,
 	}
 	get := func() MeasureResponse {
@@ -247,5 +361,35 @@ func TestMeasureDeterministicPerSeed(t *testing.T) {
 	a, b := get(), get()
 	if a.MeasuredEnergyJ != b.MeasuredEnergyJ {
 		t.Error("same seed must reproduce the measurement")
+	}
+}
+
+// TestMeasureMatchesSweepPoint: /measure is a one-point campaign through
+// the same RunConfigs path as /sweep, so with the same seed the measured
+// value for a configuration must be identical in both replies.
+func TestMeasureMatchesSweepPoint(t *testing.T) {
+	ts := newTestServer(t)
+	w := device.Workload{N: 48, Products: 1}
+	sweep := postJSON(t, ts.URL+"/sweep", SweepRequest{Device: "haswell", Workload: w, Seed: 11})
+	if sweep.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d", sweep.StatusCode)
+	}
+	rec, err := store.LoadCampaign(sweep.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := rec.Results[len(rec.Results)/2]
+	measure := postJSON(t, ts.URL+"/measure", MeasureRequest{
+		Device: "haswell", Workload: w, Config: target.Config, Seed: 11,
+	})
+	if measure.StatusCode != http.StatusOK {
+		t.Fatalf("measure status %d", measure.StatusCode)
+	}
+	var out MeasureResponse
+	if err := json.NewDecoder(measure.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.MeasuredEnergyJ != target.DynEnergyJ {
+		t.Errorf("measure %v J vs sweep point %v J — endpoints diverge", out.MeasuredEnergyJ, target.DynEnergyJ)
 	}
 }

@@ -1,0 +1,117 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"energyprop/internal/device"
+	"energyprop/internal/pareto"
+)
+
+// MeasuredPoint is one configuration's persisted measured outcome in a
+// device-generic campaign: the configuration is identified by its stable
+// key (device.Config.Key) plus a human-readable label, so the record's
+// schema is the same for GPU (BS, G, R), CPU (partition, p, t), and
+// hetero (unit distribution) campaigns.
+type MeasuredPoint struct {
+	// Config is the configuration's canonical key, e.g. "bs=24/g=1/r=8"
+	// or "contiguous/p=2/t=12".
+	Config string `json:"config"`
+	// Label is the paper-style rendering, e.g. "(BS=24, G=1, R=8)".
+	Label string `json:"label"`
+	// Seconds is the model-true execution time (the paper measures kernel
+	// time with CUDA events, energy with the meter).
+	Seconds float64 `json:"seconds"`
+	// DynPowerW is measured dynamic energy over true time.
+	DynPowerW float64 `json:"dyn_power_w"`
+	// DynEnergyJ is the measured (converged sample mean) dynamic energy.
+	DynEnergyJ float64 `json:"dyn_energy_j"`
+}
+
+// CampaignRecord is one measured campaign on any registered device — the
+// backend-neutral successor of SweepRecord (which remains the schema of
+// GPU-native model-true sweeps).
+type CampaignRecord struct {
+	Version int `json:"version"`
+	// Device is the hardware catalog name.
+	Device string `json:"device"`
+	// Kind is the backend class: "gpu", "cpu", or "hetero".
+	Kind     string          `json:"kind"`
+	Workload device.Workload `json:"workload"`
+	Results  []MeasuredPoint `json:"results"`
+}
+
+// Points converts the record's results to pareto points.
+func (c *CampaignRecord) Points() []pareto.Point {
+	out := make([]pareto.Point, len(c.Results))
+	for i, r := range c.Results {
+		label := r.Label
+		if label == "" {
+			label = r.Config
+		}
+		out[i] = pareto.Point{Label: label, Time: r.Seconds, Energy: r.DynEnergyJ}
+	}
+	return out
+}
+
+// Validate checks structural integrity after loading.
+func (c *CampaignRecord) Validate() error {
+	if c.Version != FormatVersion {
+		return fmt.Errorf("store: unsupported format version %d (want %d)", c.Version, FormatVersion)
+	}
+	if c.Device == "" {
+		return errors.New("store: empty device name")
+	}
+	if c.Kind == "" {
+		return errors.New("store: empty device kind")
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return fmt.Errorf("store: bad workload: %w", err)
+	}
+	if len(c.Results) == 0 {
+		return errors.New("store: no results")
+	}
+	seen := make(map[string]bool, len(c.Results))
+	for i, r := range c.Results {
+		if r.Config == "" {
+			return fmt.Errorf("store: result %d has empty config key", i)
+		}
+		if seen[r.Config] {
+			return fmt.Errorf("store: duplicate config %q", r.Config)
+		}
+		seen[r.Config] = true
+		if r.Seconds <= 0 || r.DynEnergyJ <= 0 {
+			return fmt.Errorf("store: result %d (%s) has non-positive measurements", i, r.Config)
+		}
+	}
+	return nil
+}
+
+// SaveCampaign writes the record as indented JSON.
+func SaveCampaign(w io.Writer, rec *CampaignRecord) error {
+	if rec == nil {
+		return errors.New("store: nil record")
+	}
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}
+
+// LoadCampaign reads and validates a record.
+func LoadCampaign(r io.Reader) (*CampaignRecord, error) {
+	var rec CampaignRecord
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		return nil, fmt.Errorf("store: decoding: %w", err)
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
