@@ -1,0 +1,34 @@
+# Common dev entry points. The module is stdlib-only: every target runs
+# with a bare Go toolchain and no network.
+
+GO ?= go
+
+.PHONY: build test race vet lint bench-baseline cache-sanity
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/epvet ./...
+
+# bench-baseline snapshots the whole benchmark suite (one iteration per
+# benchmark keeps it fast; allocs/op is iteration-count independent) as
+# BENCH_0.json via cmd/benchjson. Commit the refreshed file when a PR
+# intentionally moves a hot path; CI re-emits it as an artifact so any
+# drift is visible in review.
+bench-baseline:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./... | $(GO) run ./cmd/benchjson > BENCH_0.json
+
+# cache-sanity runs the timing-gated warm-vs-cold memoization guard
+# (skipped by default because it is wall-clock based).
+cache-sanity:
+	EP_CACHE_SANITY=1 $(GO) test -run TestWarmCacheFasterThanCold -v ./internal/campaign/

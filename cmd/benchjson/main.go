@@ -1,0 +1,128 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// baseline: a map from package-qualified benchmark name to its metrics
+// (iterations, ns/op, B/op, allocs/op). It reads the benchmark text on
+// stdin and writes JSON to stdout, so a repo-wide baseline is one pipe:
+//
+//	go test -run '^$' -bench . -benchmem -benchtime 1x ./... | benchjson > BENCH_0.json
+//
+// The GOMAXPROCS suffix (-8 in BenchmarkFoo-8) is stripped so baselines
+// diff cleanly across machines; the package path prefix keeps same-named
+// benchmarks in different packages apart.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"energyprop/internal/cli"
+)
+
+func main() {
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+}
+
+// Result is one benchmark's parsed metrics.
+type Result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// run is main's testable body; it returns the process exit code.
+func run(stdin io.Reader, stdout, stderr io.Writer) int {
+	results, err := parse(stdin)
+	if err != nil {
+		cli.Errorf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if len(results) == 0 {
+		cli.Errorf(stderr, "benchjson: no benchmark lines on stdin\n")
+		return 1
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		cli.Errorf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// parse scans go-test benchmark output: `pkg:` lines set the package
+// qualifier for the Benchmark lines that follow it.
+func parse(r io.Reader) (map[string]Result, error) {
+	out := map[string]Result{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		name, res, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		if pkg != "" {
+			name = pkg + "." + name
+		}
+		out[name] = res
+	}
+	return out, sc.Err()
+}
+
+// parseBenchLine splits one result line — name, iteration count, then
+// (value, unit) pairs — and keeps the units the baseline tracks.
+func parseBenchLine(line string) (string, Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", Result{}, false
+	}
+	name := trimProcSuffix(fields[0])
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	res := Result{Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+			seen = true
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		}
+	}
+	return name, res, seen
+}
+
+// trimProcSuffix drops the trailing -GOMAXPROCS from a benchmark name
+// (BenchmarkFoo/bar-8 -> BenchmarkFoo/bar), leaving names without one
+// untouched.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: energyprop/internal/campaign
+cpu: Intel Xeon
+BenchmarkParallelSweep-8   	     100	  11840913 ns/op	  431922 B/op	    3742 allocs/op
+BenchmarkSweepColdVsWarm/cold-8         	      39	  29402118 ns/op	  431922 B/op	    3742 allocs/op
+BenchmarkSweepColdVsWarm/warm-overlap=100-8 	    6044	    197013 ns/op	   74469 B/op	     483 allocs/op
+PASS
+ok  	energyprop/internal/campaign	4.805s
+pkg: energyprop
+BenchmarkFFT2D256x4Threads 	     100	   1953125 ns/op
+ok  	energyprop	0.4s
+`
+
+func runParse(t *testing.T, input string) (map[string]Result, string, int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(strings.NewReader(input), &out, &errBuf)
+	var res map[string]Result
+	if out.Len() > 0 {
+		if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+			t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+		}
+	}
+	return res, errBuf.String(), code
+}
+
+func TestParsesQualifiedNamesAndMetrics(t *testing.T) {
+	res, _, code := runParse(t, sample)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if len(res) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(res), res)
+	}
+	warm, ok := res["energyprop/internal/campaign.BenchmarkSweepColdVsWarm/warm-overlap=100"]
+	if !ok {
+		t.Fatalf("warm sub-benchmark missing (is the -8 proc suffix stripped?): %v", res)
+	}
+	if warm.NsPerOp != 197013 || warm.AllocsPerOp != 483 || warm.BytesPerOp != 74469 || warm.Iterations != 6044 {
+		t.Errorf("warm = %+v, want the sample line's metrics", warm)
+	}
+	// A benchmark without -benchmem columns still lands, under its own
+	// package qualifier, with a name that has no proc suffix to strip.
+	fft, ok := res["energyprop.BenchmarkFFT2D256x4Threads"]
+	if !ok {
+		t.Fatalf("root-package benchmark missing: %v", res)
+	}
+	if fft.NsPerOp != 1953125 || fft.AllocsPerOp != 0 {
+		t.Errorf("fft = %+v", fft)
+	}
+}
+
+func TestProcSuffixOnlyStripsNumbers(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":               "BenchmarkFoo",
+		"BenchmarkFoo/overlap=50-16":   "BenchmarkFoo/overlap=50",
+		"BenchmarkSweepCold":           "BenchmarkSweepCold",
+		"BenchmarkFoo/warm-overlap=50": "BenchmarkFoo/warm-overlap=50",
+	} {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEmptyInputFails(t *testing.T) {
+	_, errOut, code := runParse(t, "PASS\nok  \tenergyprop\t0.1s\n")
+	if code != 1 {
+		t.Errorf("exit %d, want 1 for input with no benchmarks", code)
+	}
+	if !strings.Contains(errOut, "no benchmark lines") {
+		t.Errorf("stderr %q", errOut)
+	}
+}

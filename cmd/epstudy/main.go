@@ -11,11 +11,15 @@
 //	epstudy -run all -markdown report.md
 //	epstudy -html report.html
 //	epstudy -device haswell -n 96
+//	epstudy -device p100 -reps 3
 //
 // With -device, epstudy runs a measured campaign on any registered
 // backend (k40c, p100, haswell, legacy-xeon, hetero) through the same
 // campaign engine the built-in experiments use, and renders the per-
-// configuration measurements as a table (or CSV with -csv).
+// configuration measurements as a table (or CSV with -csv). -reps
+// repeats the campaign; repeats are answered from the in-process
+// measurement cache (byte-identical by determinism), and the table
+// notes the cache counters.
 package main
 
 import (
@@ -53,7 +57,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	app := fs.String("app", "dgemm", "application family for -device campaigns: dgemm or fft")
 	n := fs.Int("n", 4096, "matrix/signal dimension N for -device campaigns")
 	products := fs.Int("products", 2, "total problem instances for -device campaigns")
+	reps := fs.Int("reps", 1, "repeat the -device campaign; repeats hit the in-process measurement cache")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *reps < 1 {
+		cli.Errorf(stderr, "epstudy: -reps must be >= 1 (got %d)\n", *reps)
 		return 2
 	}
 	out := cli.NewWriter(stdout)
@@ -73,7 +82,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *devName != "" {
-		t, err := runDeviceCampaign(*devName, *app, *n, *products, opt)
+		t, err := runDeviceCampaign(*devName, *app, *n, *products, *reps, opt)
 		if err != nil {
 			cli.Errorf(stderr, "epstudy: %v\n", err)
 			return 1
@@ -169,8 +178,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // runDeviceCampaign measures every configuration of a registered device
 // through the same campaign.RunConfigs path the built-in experiments and
-// the measurement service use, and tabulates the results.
-func runDeviceCampaign(name, app string, n, products int, opt experiment.Options) (*experiment.Table, error) {
+// the measurement service use, and tabulates the results. reps > 1
+// reruns the campaign against the attached point cache: warm reruns are
+// byte-identical (the points are pure functions of device, workload,
+// config, and seed) and skip every device run and meter loop.
+func runDeviceCampaign(name, app string, n, products, reps int, opt experiment.Options) (*experiment.Table, error) {
 	dev, err := device.Open(name)
 	if err != nil {
 		return nil, err
@@ -182,9 +194,13 @@ func runDeviceCampaign(name, app string, n, products int, opt experiment.Options
 	}
 	spec := campaign.DefaultSpec(opt.Seed)
 	spec.Workers = opt.Workers
-	res, err := campaign.RunConfigs(context.Background(), dev, w, configs, spec)
-	if err != nil {
-		return nil, err
+	spec.Cache = campaign.NewPointCache(0)
+	var res *campaign.Result
+	for r := 0; r < reps; r++ {
+		res, err = campaign.RunConfigs(context.Background(), dev, w, configs, spec)
+		if err != nil {
+			return nil, err
+		}
 	}
 	t := &experiment.Table{
 		Title:   fmt.Sprintf("Measured campaign on %s (%s), %s", res.Device, res.Kind, w),
@@ -199,6 +215,11 @@ func runDeviceCampaign(name, app string, n, products int, opt experiment.Options
 	}
 	t.AddNote("campaign cost: %d total runs across %d configurations (seed %d)",
 		res.TotalRuns, len(res.Points), opt.Seed)
+	if reps > 1 {
+		s := spec.Cache.Stats()
+		t.AddNote("cache over %d reps: hits=%d misses=%d dedups=%d evictions=%d",
+			reps, s.Hits, s.Misses, s.Dedups, s.Evictions)
+	}
 	return t, nil
 }
 

@@ -149,3 +149,51 @@ func TestSVGDir(t *testing.T) {
 		t.Errorf("fig8.svg not written: %v", err)
 	}
 }
+
+// TestDeviceCampaignReps: a -reps rerun is served from the measurement
+// cache — the table is identical to a single run apart from the cache
+// note, which must show one miss per configuration and warm hits for
+// every repeat.
+func TestDeviceCampaignReps(t *testing.T) {
+	single, _, code := runCLI(t, "-device", "haswell", "-n", "48", "-products", "1", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	reps, _, code := runCLI(t, "-device", "haswell", "-n", "48", "-products", "1", "-seed", "7",
+		"-reps", "3")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var kept []string
+	var note string
+	for _, line := range strings.Split(reps, "\n") {
+		if strings.Contains(line, "cache over") {
+			note = strings.TrimSpace(line)
+			continue
+		}
+		kept = append(kept, line)
+	}
+	if got := strings.Join(kept, "\n"); got != single {
+		t.Errorf("-reps 3 table differs from a single campaign beyond the cache note:\n%s\nvs\n%s", got, single)
+	}
+	if note == "" {
+		t.Fatalf("no cache note in -reps output:\n%s", reps)
+	}
+	if !strings.Contains(note, "hits=") || !strings.Contains(note, "misses=") {
+		t.Errorf("cache note %q missing counters", note)
+	}
+	if strings.Contains(single, "cache over") {
+		t.Error("single-rep output should not carry a cache note")
+	}
+}
+
+// TestBadReps: a non-positive -reps is a usage error.
+func TestBadReps(t *testing.T) {
+	_, errOut, code := runCLI(t, "-device", "haswell", "-reps", "-1")
+	if code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "-reps") {
+		t.Errorf("stderr %q should mention -reps", errOut)
+	}
+}

@@ -11,7 +11,13 @@
 //	gpusweep -device haswell -n 4096 -fronts
 //	gpusweep -device hetero -n 1024 -products 8
 //	gpusweep -device k40c -n 8704 -json sweep.json
+//	gpusweep -device p100 -reps 3 -cachestats
 //	gpusweep -list
+//
+// With -reps the sweep is repeated; repeats are answered from an
+// in-process content-addressed outcome cache (the runs are
+// deterministic, so a warm rerun is byte-identical and nearly free),
+// and -cachestats appends the cache counters as CSV comments.
 package main
 
 import (
@@ -20,9 +26,11 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
 
 	"energyprop/internal/cli"
 	"energyprop/internal/device"
+	"energyprop/internal/memo"
 	"energyprop/internal/parallel"
 	"energyprop/internal/pareto"
 	"energyprop/internal/store"
@@ -47,8 +55,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fronts := fs.Bool("fronts", false, "print Pareto fronts and trade-offs after the CSV")
 	jsonOut := fs.String("json", "", "also persist the sweep as JSON to this file")
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = one per CPU)")
+	reps := fs.Int("reps", 1, "repeat the sweep; repeats hit the in-process outcome cache")
+	cachestats := fs.Bool("cachestats", false, "append outcome-cache counters as CSV comments")
 	list := fs.Bool("list", false, "list the registered devices and exit")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *reps < 1 {
+		cli.Errorf(stderr, "gpusweep: -reps must be >= 1 (got %d)\n", *reps)
 		return 2
 	}
 
@@ -92,12 +106,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		cli.Errorf(stderr, "gpusweep: %v\n", err)
 		return 1
 	}
-	outcomes, err := parallel.Map(ctx, *workers, len(configs), func(ctx context.Context, i int) (*device.Outcome, error) {
-		return dev.Run(ctx, workload, configs[i])
-	})
-	if err != nil {
-		cli.Errorf(stderr, "gpusweep: %v\n", err)
-		return 1
+	// Every run goes through the outcome cache, so -reps reruns (and any
+	// duplicate configurations) collapse to one simulator invocation per
+	// distinct point; the runs are deterministic, so a cached outcome is
+	// identical to a fresh one.
+	cache := memo.New[*device.Outcome](0)
+	sweep := func() ([]*device.Outcome, error) {
+		return parallel.Map(ctx, *workers, len(configs), func(ctx context.Context, i int) (*device.Outcome, error) {
+			o, _, err := cache.Do(outcomeKey(dev, workload, configs[i]), func() (*device.Outcome, error) {
+				return dev.Run(ctx, workload, configs[i])
+			})
+			return o, err
+		})
+	}
+	var outcomes []*device.Outcome
+	for r := 0; r < *reps; r++ {
+		outcomes, err = sweep()
+		if err != nil {
+			cli.Errorf(stderr, "gpusweep: %v\n", err)
+			return 1
+		}
 	}
 
 	if *jsonOut != "" {
@@ -113,6 +141,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		out.Printf("%s,%.4f,%.2f,%.1f\n",
 			configs[i].Key(), o.TrueSeconds, o.TrueEnergyJ/o.TrueSeconds, o.TrueEnergyJ)
 		points = append(points, pareto.Point{Label: configs[i].String(), Time: o.TrueSeconds, Energy: o.TrueEnergyJ})
+	}
+
+	if *cachestats {
+		s := cache.Stats()
+		out.Printf("# cache: reps=%d hits=%d misses=%d dedups=%d evictions=%d size=%d\n",
+			*reps, s.Hits, s.Misses, s.Dedups, s.Evictions, s.Size)
 	}
 
 	if !*fronts {
@@ -138,6 +172,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return done()
+}
+
+// outcomeKey derives the content-addressed cache key of one model-true
+// device run. The simulators are deterministic, so an outcome is a pure
+// function of (device identity, normalized workload, configuration key)
+// and a digest over those fields addresses it exactly.
+func outcomeKey(dev device.Device, w device.Workload, c device.Config) string {
+	return memo.Digest(
+		"gpusweep-outcome/v1",
+		dev.Name(), dev.Kind(), dev.Spec().CatalogName,
+		w.App, strconv.Itoa(w.N), strconv.Itoa(w.Products),
+		c.Key(),
+	)
 }
 
 // saveJSON persists the model-true sweep as a device-generic campaign

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -140,5 +141,51 @@ func TestBadWorkload(t *testing.T) {
 	_, _, code := runCLI(t, "-n", "0")
 	if code != 1 {
 		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+// TestSweepRepsWarmCache: -reps reruns must be answered by the outcome
+// cache (one miss per config, the rest hits), and the CSV body must be
+// identical to a single-rep sweep — the cache is invisible in the data.
+func TestSweepRepsWarmCache(t *testing.T) {
+	single, _, code := runCLI(t, "-device", "p100", "-n", "4096", "-products", "2")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	reps, _, code := runCLI(t, "-device", "p100", "-n", "4096", "-products", "2",
+		"-reps", "3", "-cachestats")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var data, stats []string
+	for _, line := range strings.Split(strings.TrimSpace(reps), "\n") {
+		if strings.HasPrefix(line, "# cache:") {
+			stats = append(stats, line)
+		} else {
+			data = append(data, line)
+		}
+	}
+	if got := strings.Join(data, "\n") + "\n"; got != single {
+		t.Errorf("-reps 3 CSV body differs from a single sweep:\n%s\nvs\n%s", got, single)
+	}
+	if len(stats) != 1 {
+		t.Fatalf("want exactly one cache-stats comment, got %d:\n%s", len(stats), reps)
+	}
+	configRows := len(data) - 1 // minus the header
+	want := fmt.Sprintf("# cache: reps=3 hits=%d misses=%d dedups=0 evictions=0 size=%d",
+		2*configRows, configRows, configRows)
+	if stats[0] != want {
+		t.Errorf("cache stats = %q, want %q", stats[0], want)
+	}
+}
+
+// TestSweepBadReps: a non-positive -reps is a usage error.
+func TestSweepBadReps(t *testing.T) {
+	_, errOut, code := runCLI(t, "-device", "p100", "-reps", "0")
+	if code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "-reps") {
+		t.Errorf("stderr %q should mention -reps", errOut)
 	}
 }

@@ -1,0 +1,62 @@
+package campaign
+
+import (
+	"strconv"
+
+	"energyprop/internal/device"
+	"energyprop/internal/memo"
+)
+
+// PointCache memoizes measured points across campaigns. Since PR 3 a
+// point is a pure function of (device identity, workload, configuration
+// key, campaign seed) — the simulators are deterministic and the
+// meter's noise is seeded by device.ConfigSeed — so a cached point is
+// bit-identical to a recomputed one and the cache is invisible except
+// in wall-clock and allocation numbers.
+//
+// Sharing a PointCache is only sound across devices opened fresh from
+// the device registry: the cache keys on the device's registry name and
+// catalog identity, so a hand-built device whose behaviour differs from
+// the registered one under the same name (e.g. an ablated simulator)
+// must not share a cache with it.
+type PointCache = memo.Cache[PointReport]
+
+// NewPointCache builds a measured-point cache bounded to capacity
+// entries (non-positive selects memo.DefaultCapacity).
+func NewPointCache(capacity int) *PointCache {
+	return memo.New[PointReport](capacity)
+}
+
+// pointKey derives a point's canonical content-addressed cache key. It
+// must cover everything a measured point is a function of: the device's
+// identity, the normalized workload, the configuration key (the same
+// identity device.ConfigSeed hashes for the meter seed), the campaign
+// seed, and every Spec knob that shapes the statistical loop. Two
+// campaigns that agree on all of these produce bit-identical points, so
+// a digest collision-free over these fields makes the cache exact.
+func pointKey(dev device.Device, w device.Workload, c device.Config, spec Spec) string {
+	s := dev.Spec()
+	m := spec.Measure
+	return memo.Digest(
+		"campaign-point/v1",
+		dev.Name(), dev.Kind(), s.CatalogName,
+		w.App, strconv.Itoa(w.N), strconv.Itoa(w.Products),
+		c.Key(),
+		strconv.FormatInt(spec.Seed, 10),
+		canonFloat(spec.NoiseFrac),
+		canonFloat(spec.SpikeProb),
+		canonFloat(m.Confidence),
+		canonFloat(m.Precision),
+		strconv.Itoa(m.MinRuns),
+		strconv.Itoa(m.MaxRuns),
+		strconv.FormatBool(m.CheckNormality),
+		canonFloat(m.NormalityAlpha),
+		canonFloat(m.RejectOutliersK),
+	)
+}
+
+// canonFloat renders a float64 exactly (hex mantissa form), so two spec
+// values digest equal iff they are bit-equal as measurement parameters.
+func canonFloat(f float64) string {
+	return strconv.FormatFloat(f, 'x', -1, 64)
+}

@@ -40,6 +40,16 @@ type Spec struct {
 	// 0 (or negative) selects runtime.GOMAXPROCS; 1 forces the serial
 	// reference path. Any worker count produces identical records.
 	Workers int
+	// Cache, if non-nil, memoizes measured points across campaigns:
+	// before dispatching a configuration to the worker pool, the engine
+	// consults the cache under the point's canonical digest (device
+	// identity, workload, config key, seed, and every statistical knob
+	// above). Because a point is a pure function of that tuple, cached
+	// and uncached campaigns are byte-identical; concurrent campaigns
+	// asking for the same point collapse to one device run
+	// (singleflight). Share one cache across campaigns only for devices
+	// opened fresh from the device registry — see PointCache.
+	Cache *PointCache
 	// Progress, if non-nil, is called once per measured configuration
 	// with the running completion count. Calls are serialized by the
 	// engine, so the callback needs no locking of its own.
@@ -127,7 +137,7 @@ func RunConfigs(ctx context.Context, dev device.Device, w device.Workload, confi
 	w = w.Normalized()
 	prog := parallel.NewProgress(len(configs), spec.Progress)
 	points, err := parallel.Map(ctx, spec.Workers, len(configs), func(ctx context.Context, i int) (PointReport, error) {
-		p, err := measurePoint(ctx, dev, w, configs[i], spec)
+		p, err := cachedPoint(ctx, dev, w, configs[i], spec)
 		if err != nil {
 			return PointReport{}, err
 		}
@@ -142,6 +152,21 @@ func RunConfigs(ctx context.Context, dev device.Device, w device.Workload, confi
 		out.TotalRuns += p.Runs
 	}
 	return out, nil
+}
+
+// cachedPoint measures one configuration through the spec's cache when
+// one is attached: a stored point is returned as-is (it is bit-identical
+// to a recomputation by construction), and concurrent requests for the
+// same point deduplicate to one measurement. Without a cache it is
+// exactly measurePoint.
+func cachedPoint(ctx context.Context, dev device.Device, w device.Workload, c device.Config, spec Spec) (PointReport, error) {
+	if spec.Cache == nil {
+		return measurePoint(ctx, dev, w, c, spec)
+	}
+	p, _, err := spec.Cache.Do(pointKey(dev, w, c, spec), func() (PointReport, error) {
+		return measurePoint(ctx, dev, w, c, spec)
+	})
+	return p, err
 }
 
 // measurePoint runs the paper's statistical loop for one configuration:

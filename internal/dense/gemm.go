@@ -119,8 +119,12 @@ func gemmTiled(alpha float64, a, b, c *Matrix, rowLo, rowHi, k, n int) {
 // gemmPacked packs each B panel (tile of rows × full width) into a
 // contiguous buffer before streaming A rows through it, emulating the
 // panel-packing structure of high-performance BLAS.
+// The pack buffer is pooled: only the rows packed in a panel iteration
+// are read back, so the buffer needs no zeroing on reuse.
 func gemmPacked(alpha float64, a, b, c *Matrix, rowLo, rowHi, k, n int) {
-	packed := make([]float64, tile*n)
+	pp := getF64(tile * n)
+	defer putF64(pp)
+	packed := *pp
 	for ll := 0; ll < k; ll += tile {
 		lEnd := min(ll+tile, k)
 		h := lEnd - ll
@@ -156,11 +160,4 @@ func checkGemmShapes(a, b, c *Matrix) error {
 		return fmt.Errorf("dense: C is %dx%d, want %dx%d", c.Rows, c.Cols, a.Rows, b.Cols)
 	}
 	return nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -47,11 +47,14 @@ func GemmSharedKernel(bs int, a, b, c *Matrix, groups int) error {
 		wg.Add(1)
 		go func(wkr int) {
 			defer wg.Done()
-			as := make([]float64, bs*bs) // As[ty][tx]
-			bsm := make([]float64, bs*bs)
+			ap, bp, cp := getF64(bs*bs), getF64(bs*bs), getF64(bs*bs)
+			defer putF64(ap)
+			defer putF64(bp)
+			defer putF64(cp)
+			as, bsm, csub := *ap, *bp, *cp // As[ty][tx], Bs, Csub
 			for blk := wkr; blk < totalBlocks; blk += groups {
 				by, bx := blk/grid, blk%grid
-				runBlock(n, bs, by, bx, a, b, c, as, bsm)
+				runBlock(n, bs, by, bx, a, b, c, as, bsm, csub)
 			}
 		}(wkr)
 	}
@@ -59,10 +62,15 @@ func GemmSharedKernel(bs int, a, b, c *Matrix, groups int) error {
 	return nil
 }
 
-// runBlock computes one Csub tile: the body of Fig 5 lines 1-20.
-func runBlock(n, bs, by, bx int, a, b, c *Matrix, as, bsm []float64) {
+// runBlock computes one Csub tile: the body of Fig 5 lines 1-20. The
+// scratch tiles as/bsm/csub are worker-owned pooled buffers; as and bsm
+// are fully rewritten on each tile load, csub accumulates and so must
+// be zeroed here.
+func runBlock(n, bs, by, bx int, a, b, c *Matrix, as, bsm, csub []float64) {
 	// Csub accumulator, one register per (ty, tx) thread.
-	csub := make([]float64, bs*bs)
+	for i := range csub {
+		csub[i] = 0
+	}
 	tiles := (n + bs - 1) / bs
 	for t := 0; t < tiles; t++ {
 		// "Load the two corresponding square matrices from global memory

@@ -1,0 +1,24 @@
+package dense
+
+import "sync"
+
+// f64Pool recycles the kernels' scratch buffers (packed B panels,
+// shared-memory tiles, Csub accumulators) so steady-state GEMM calls
+// allocate nothing. Slices are pooled behind a pointer to keep the
+// Put/Get round-trip itself allocation-free.
+var f64Pool = sync.Pool{New: func() any { return new([]float64) }}
+
+// getF64 returns a pooled slice of length n. Contents are arbitrary —
+// callers must fully overwrite (or explicitly zero) the buffer before
+// reading it.
+func getF64(n int) *[]float64 {
+	p := f64Pool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// putF64 returns a slice obtained from getF64 to the pool.
+func putF64(p *[]float64) { f64Pool.Put(p) }

@@ -1,0 +1,28 @@
+package fft
+
+import "testing"
+
+// TestFFT2DSteadyStateAllocs: the column-pass scratch is pooled and the
+// workers take contiguous shares, so a warm 2D transform allocates only
+// its goroutine machinery — not one column per column index.
+func TestFFT2DSteadyStateAllocs(t *testing.T) {
+	const n, threads = 64, 2
+	s, err := NewSignal2D(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Data {
+		s.Data[i] = complex(float64(i%17), float64(i%5))
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := FFT2D(s, threads); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Two passes spawn 2×threads goroutines with their closures and
+	// error slots; before pooling the column pass also allocated n
+	// scratch columns per run.
+	if allocs > 16 {
+		t.Errorf("FFT2D allocates %.1f objects per run, want goroutine overhead only (<= 16)", allocs)
+	}
+}

@@ -138,25 +138,53 @@ func FFT2D(s *Signal2D, threads int) error {
 		return err
 	}
 	// Column pass: each worker gathers a column into a scratch slice,
-	// transforms, and scatters back. Workers own disjoint columns.
-	return parallelPass(threads, n, func(j int) error {
-		col := make([]complex128, n)
-		for i := 0; i < n; i++ {
-			col[i] = s.Data[i*n+j]
+	// transforms, and scatters back. Workers own disjoint columns and
+	// reuse one pooled scratch column for their whole share (the gather
+	// fully overwrites it, so no zeroing is needed).
+	return parallelRange(threads, n, func(lo, hi int) error {
+		cp := colPool.Get().(*[]complex128)
+		defer colPool.Put(cp)
+		if cap(*cp) < n {
+			*cp = make([]complex128, n)
 		}
-		if err := FFT(col); err != nil {
-			return err
-		}
-		for i := 0; i < n; i++ {
-			s.Data[i*n+j] = col[i]
+		col := (*cp)[:n]
+		for j := lo; j < hi; j++ {
+			for i := 0; i < n; i++ {
+				col[i] = s.Data[i*n+j]
+			}
+			if err := FFT(col); err != nil {
+				return err
+			}
+			for i := 0; i < n; i++ {
+				s.Data[i*n+j] = col[i]
+			}
 		}
 		return nil
 	})
 }
 
+// colPool recycles the column-pass scratch slices across FFT2D calls so
+// a steady-state transform allocates only its worker goroutines.
+var colPool = sync.Pool{New: func() any { return new([]complex128) }}
+
 // parallelPass runs fn(i) for i in [0, n) across the given number of
 // worker goroutines, each taking a contiguous equal share.
 func parallelPass(threads, n int, fn func(int) error) error {
+	return parallelRange(threads, n, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// parallelRange divides [0, n) into contiguous equal shares, one per
+// worker goroutine, and runs fn(lo, hi) on each — the variant of
+// parallelPass for workers that carry per-share state (scratch buffers)
+// across iterations.
+func parallelRange(threads, n int, fn func(lo, hi int) error) error {
 	errs := make([]error, threads)
 	var wg sync.WaitGroup
 	for w := 0; w < threads; w++ {
@@ -165,12 +193,7 @@ func parallelPass(threads, n int, fn func(int) error) error {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				if err := fn(i); err != nil {
-					errs[w] = err
-					return
-				}
-			}
+			errs[w] = fn(lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()

@@ -37,13 +37,16 @@ var seedFlowStrict = map[string]bool{
 // field, or helper whose name mentions "seed"), never references the
 // index variable of an enclosing loop, and — in the strict packages
 // above the device abstraction — flows through a seed-derivation helper
-// call such as device.ConfigSeed rather than a raw seed field.
+// call such as device.ConfigSeed rather than a raw seed field. Its
+// strict mode also covers the memoization layer: memo.Cache keys in the
+// cache-key-scoped packages must flow through a canonical digest helper
+// (memo.Digest or a *Key wrapper), never fmt.Sprintf — see cachekey.go.
 type SeedFlow struct{}
 
 func (SeedFlow) Name() string { return "seedflow" }
 
 func (SeedFlow) Doc() string {
-	return "rand seeds in measurement-pipeline code must derive from the hashed (seed, config) identity via device.ConfigSeed, never a loop index"
+	return "rand seeds in measurement-pipeline code must derive from the hashed (seed, config) identity via device.ConfigSeed, never a loop index; memo.Cache keys must flow through memo.Digest, never fmt.Sprintf"
 }
 
 // seedSources are the math/rand constructors whose arguments carry seed
@@ -54,9 +57,19 @@ var seedSources = map[string]bool{
 }
 
 func (SeedFlow) Check(pkg *Package) []Finding {
-	if !seedFlowScoped[pkg.Path] {
-		return nil
+	var out []Finding
+	if seedFlowScoped[pkg.Path] {
+		out = append(out, checkSeedSources(pkg)...)
 	}
+	if cacheKeyScoped[pkg.Path] {
+		out = append(out, checkCacheKeys(pkg)...)
+	}
+	return out
+}
+
+// checkSeedSources is the original seedflow walk: every rand seed in
+// scoped packages derives from seed-named material, never a loop index.
+func checkSeedSources(pkg *Package) []Finding {
 	var out []Finding
 	for _, f := range pkg.Files {
 		walkStack(f.AST, func(n ast.Node, stack []ast.Node) {

@@ -1,0 +1,225 @@
+// Package memo is the measurement pipeline's content-addressed result
+// cache. Since PR 3 a measured point is a pure function of (device
+// identity, workload, configuration key, campaign seed): the simulators
+// are deterministic and the meter's noise is seeded from the hashed
+// (seed, config) identity, so re-measuring the same tuple always yields
+// bit-identical floats. That makes memoization *exact* — not an
+// approximation — and the cache's only observable effects are wall-clock
+// time and allocation counts.
+//
+// The cache is bounded (LRU eviction), safe for concurrent use, and
+// deduplicates in-flight computations: when N goroutines ask for the
+// same key while the first is still computing, one computation runs and
+// the other N-1 wait for its result (singleflight). Hit, miss, eviction,
+// and dedup counters are exposed through Stats for observability — the
+// /stats endpoint of internal/service and the CLIs' cache-stats output
+// read them.
+//
+// Keys are canonical digests built with Digest: length-prefixed SHA-256
+// over the identity fields. Callers must never concatenate fields by
+// hand (a raw fmt.Sprintf key is an epvet seedflow finding): ambiguous
+// encodings ("ab"+"c" vs "a"+"bc") would alias distinct measurements.
+package memo
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"sync"
+)
+
+// Digest builds a canonical content-addressed cache key from the
+// identity fields of a computation: SHA-256 over the length-prefixed
+// field bytes, hex-encoded. Length prefixes make the encoding
+// injective — no two distinct field lists produce the same digest — so
+// a digest-addressed cache can never alias two different measurements.
+func Digest(parts ...string) string {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// DefaultCapacity is the entry bound used when New is given a
+// non-positive capacity: roomy enough for the paper's largest sweep
+// (110 GPU configurations) times dozens of overlapping campaigns.
+const DefaultCapacity = 4096
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	// Hits counts lookups served from a stored entry.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that had to run the computation.
+	Misses uint64 `json:"misses"`
+	// Dedups counts lookups that joined an in-flight computation
+	// instead of starting their own (the singleflight collapses).
+	Dedups uint64 `json:"dedups"`
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions uint64 `json:"evictions"`
+	// Inflight is the number of computations currently running.
+	Inflight int `json:"inflight"`
+	// Size and Capacity describe the store's occupancy.
+	Size     int `json:"size"`
+	Capacity int `json:"capacity"`
+}
+
+// errAbandoned marks a flight whose computation panicked; joiners retry
+// rather than adopting a result that never materialized.
+var errAbandoned = errors.New("memo: in-flight computation abandoned")
+
+// flight is one in-progress computation that concurrent callers of the
+// same key wait on.
+type flight[V any] struct {
+	done chan struct{} // closed when val/err are final
+	val  V
+	err  error
+}
+
+// entry is one stored value; the list element carries it so LRU moves
+// are O(1).
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// Cache is a bounded, concurrency-safe, content-addressed result cache
+// with singleflight deduplication. The zero value is not usable; call
+// New.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	store    map[string]*list.Element // key -> *entry[V] element
+	order    *list.List               // front = most recently used
+	inflight map[string]*flight[V]
+
+	hits, misses, dedups, evictions uint64
+}
+
+// New builds a cache bounded to capacity entries; a non-positive
+// capacity selects DefaultCapacity.
+func New[V any](capacity int) *Cache[V] {
+	if capacity < 1 {
+		capacity = DefaultCapacity
+	}
+	return &Cache[V]{
+		capacity: capacity,
+		store:    map[string]*list.Element{},
+		order:    list.New(),
+		inflight: map[string]*flight[V]{},
+	}
+}
+
+// Do returns the cached value for key, or computes it with fn. The
+// second result reports whether the value came from the cache (or an
+// in-flight computation) rather than this caller's own fn.
+//
+// Concurrent calls with the same key collapse to one fn execution: the
+// first caller computes, the rest wait. Errors are never cached, and a
+// waiter whose leader failed retries with its own computation — the
+// leader's failure may be private to it (e.g. its request context was
+// cancelled), and sharing it would make one client's cancellation
+// observable to another, violating the cache-invisibility contract.
+func (c *Cache[V]) Do(key string, fn func() (V, error)) (V, bool, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.store[key]; ok {
+			c.order.MoveToFront(el)
+			v := el.Value.(*entry[V]).val
+			c.hits++
+			c.mu.Unlock()
+			return v, true, nil
+		}
+		if f, ok := c.inflight[key]; ok {
+			c.dedups++
+			c.mu.Unlock()
+			<-f.done
+			if f.err == nil {
+				return f.val, true, nil
+			}
+			continue
+		}
+		f := &flight[V]{done: make(chan struct{}), err: errAbandoned}
+		c.inflight[key] = f
+		c.misses++
+		c.mu.Unlock()
+		return c.lead(key, f, fn)
+	}
+}
+
+// lead runs the computation as the flight's owner and publishes the
+// result. The deferred block runs even if fn panics: the flight is
+// removed and closed with errAbandoned still set, so waiters retry
+// instead of blocking forever.
+func (c *Cache[V]) lead(key string, f *flight[V], fn func() (V, error)) (V, bool, error) {
+	defer func() {
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if f.err == nil {
+			c.insertLocked(key, f.val)
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	f.val, f.err = fn()
+	return f.val, false, f.err
+}
+
+// Get returns the stored value for key without computing anything. It
+// counts as a hit or miss but never joins an in-flight computation.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.store[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry[V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// insertLocked stores the value and enforces the LRU bound. Caller
+// holds mu.
+func (c *Cache[V]) insertLocked(key string, v V) {
+	if el, ok := c.store[key]; ok {
+		el.Value.(*entry[V]).val = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.store[key] = c.order.PushFront(&entry[V]{key: key, val: v})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.store, oldest.Value.(*entry[V]).key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of stored entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Dedups:    c.dedups,
+		Evictions: c.evictions,
+		Inflight:  len(c.inflight),
+		Size:      c.order.Len(),
+		Capacity:  c.capacity,
+	}
+}

@@ -1,0 +1,264 @@
+package memo
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDigestInjectiveOverFieldBoundaries(t *testing.T) {
+	// The classic concatenation aliasing: without length prefixes these
+	// two field lists would hash the same bytes.
+	if Digest("ab", "c") == Digest("a", "bc") {
+		t.Fatal(`Digest("ab","c") == Digest("a","bc"): field boundaries are not encoded`)
+	}
+	if Digest("a", "") == Digest("a") {
+		t.Fatal("trailing empty field is not distinguished")
+	}
+	if Digest("x") != Digest("x") {
+		t.Fatal("Digest is not deterministic")
+	}
+}
+
+func TestDoComputesOnceThenHits(t *testing.T) {
+	c := New[int](8)
+	calls := 0
+	get := func() (int, bool) {
+		v, hit, err := c.Do(Digest("k"), func() (int, error) { calls++; return 42, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v, hit
+	}
+	if v, hit := get(); v != 42 || hit {
+		t.Fatalf("first Do = (%d, hit=%v), want (42, miss)", v, hit)
+	}
+	if v, hit := get(); v != 42 || !hit {
+		t.Fatalf("second Do = (%d, hit=%v), want (42, hit)", v, hit)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Size != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, size 1", s)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New[int](8)
+	boom := errors.New("boom")
+	calls := 0
+	key := Digest("k")
+	if _, _, err := c.Do(key, func() (int, error) { calls++; return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if v, _, err := c.Do(key, func() (int, error) { calls++; return 7, nil }); err != nil || v != 7 {
+		t.Fatalf("after error: (%d, %v), want (7, nil)", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("fn ran %d times, want 2 (errors must not be cached)", calls)
+	}
+	if got := c.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+}
+
+func TestLRUEvictsAtBound(t *testing.T) {
+	c := New[int](2)
+	put := func(k string, v int) {
+		t.Helper()
+		if _, _, err := c.Do(Digest(k), func() (int, error) { return v, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a", 1)
+	put("b", 2)
+	// Touch "a" so "b" is the LRU entry when "c" evicts.
+	if _, ok := c.Get(Digest("a")); !ok {
+		t.Fatal("a should be cached")
+	}
+	put("c", 3)
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if _, ok := c.Get(Digest("b")); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	if _, ok := c.Get(Digest("a")); !ok {
+		t.Fatal("a should have survived (recently used)")
+	}
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	if got := New[int](0).Stats().Capacity; got != DefaultCapacity {
+		t.Fatalf("capacity = %d, want DefaultCapacity %d", got, DefaultCapacity)
+	}
+	if got := New[int](3).Stats().Capacity; got != 3 {
+		t.Fatalf("capacity = %d, want 3", got)
+	}
+}
+
+// TestSingleflightCollapsesConcurrentCalls forces N goroutines into the
+// same in-flight window: the leader's fn blocks until every other
+// caller has joined the flight, so exactly one execution must serve all
+// of them.
+func TestSingleflightCollapsesConcurrentCalls(t *testing.T) {
+	const joiners = 8
+	c := New[int](8)
+	key := Digest("shared")
+
+	var calls atomic.Int64
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, _, err := c.Do(key, func() (int, error) {
+			calls.Add(1)
+			close(leaderIn)
+			<-release
+			return 99, nil
+		})
+		if err != nil || v != 99 {
+			t.Errorf("leader: (%d, %v), want (99, nil)", v, err)
+		}
+	}()
+	<-leaderIn
+
+	results := make(chan int, joiners)
+	for i := 0; i < joiners; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, hit, err := c.Do(key, func() (int, error) {
+				calls.Add(1)
+				return -1, nil
+			})
+			if err != nil || !hit {
+				t.Errorf("joiner: (%d, hit=%v, %v), want (99, hit, nil)", v, hit, err)
+			}
+			results <- v
+		}()
+	}
+	// Wait until every joiner is parked on the flight, then release the
+	// leader. Dedups is incremented under the cache lock before the
+	// joiner blocks, so polling it is race-free.
+	for c.Stats().Dedups != joiners {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	close(results)
+	for v := range results {
+		if v != 99 {
+			t.Fatalf("joiner got %d, want the leader's 99", v)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times for %d concurrent callers, want 1", got, joiners+1)
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Dedups != joiners {
+		t.Fatalf("stats = %+v, want misses=1 dedups=%d", s, joiners)
+	}
+}
+
+// TestJoinerRetriesAfterLeaderError: a leader failure (e.g. its request
+// context was cancelled) must stay private — the waiter retries with
+// its own computation instead of inheriting the error.
+func TestJoinerRetriesAfterLeaderError(t *testing.T) {
+	c := New[int](8)
+	key := Digest("retry")
+	boom := errors.New("leader cancelled")
+
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := c.Do(key, func() (int, error) {
+			close(leaderIn)
+			<-release
+			return 0, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("leader err = %v, want boom", err)
+		}
+	}()
+	<-leaderIn
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, _, err := c.Do(key, func() (int, error) { return 7, nil })
+		if err != nil || v != 7 {
+			t.Errorf("joiner = (%d, %v), want (7, nil) via retry", v, err)
+		}
+	}()
+	for c.Stats().Dedups == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestPanicDoesNotWedgeTheKey: a panicking computation must not leave
+// the flight stuck, or every later Do on the key would block forever.
+func TestPanicDoesNotWedgeTheKey(t *testing.T) {
+	c := New[int](8)
+	key := Digest("panic")
+	func() {
+		defer func() { _ = recover() }()
+		_, _, _ = c.Do(key, func() (int, error) { panic("kernel bug") })
+	}()
+	v, _, err := c.Do(key, func() (int, error) { return 5, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("after panic: (%d, %v), want (5, nil)", v, err)
+	}
+	if s := c.Stats(); s.Inflight != 0 {
+		t.Fatalf("inflight = %d after panic, want 0", s.Inflight)
+	}
+}
+
+// TestConcurrentMixedAccessRaceClean hammers Do/Get/Stats/Len from many
+// goroutines over a small key space with a small capacity, so the -race
+// run exercises hits, misses, dedups, and evictions together.
+func TestConcurrentMixedAccessRaceClean(t *testing.T) {
+	c := New[string](4)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := Digest("key", fmt.Sprint((g+i)%9))
+				want := fmt.Sprintf("v%d", (g+i)%9)
+				v, _, err := c.Do(k, func() (string, error) { return want, nil })
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v != want {
+					t.Errorf("Do = %q, want %q (cache aliased two keys)", v, want)
+					return
+				}
+				c.Get(k)
+				_ = c.Stats()
+				_ = c.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Size > 4 {
+		t.Fatalf("size = %d exceeds capacity 4", s.Size)
+	}
+}

@@ -140,6 +140,13 @@ type Meter struct {
 	RecordTrace bool
 
 	rng *rand.Rand
+	// scratchT/scratchP are reused across MeasureRun calls so the
+	// statistical loop's repeated measurements are allocation-free in
+	// steady state. When RecordTrace is set, ownership of the slices
+	// passes to the Report and fresh scratch grows on the next call. A
+	// Meter is not safe for concurrent use (the rng already forbids it),
+	// so the scratch needs no locking.
+	scratchT, scratchP []float64
 }
 
 // NewMeter returns a meter with the given idle power, WattsUp-like 1 s
@@ -194,8 +201,13 @@ func (m *Meter) MeasureRun(r Run) (*Report, error) {
 		interval = 1.0
 	}
 	n := int(dur / interval)
-	// Sample times: 0, interval, ..., plus the final endpoint.
-	times := make([]float64, 0, n+2)
+	// Sample times: 0, interval, ..., plus the final endpoint. The
+	// scratch slice is append-built from length zero, so stale contents
+	// never survive into a measurement.
+	times := m.scratchT[:0]
+	if cap(times) < n+2 {
+		times = make([]float64, 0, n+2)
+	}
 	for i := 0; i <= n; i++ {
 		t := float64(i) * interval
 		if t > dur {
@@ -209,7 +221,11 @@ func (m *Meter) MeasureRun(r Run) (*Report, error) {
 	if len(times) == 1 {
 		times = append(times, dur)
 	}
-	powers := make([]float64, len(times))
+	powers := m.scratchP
+	if cap(powers) < len(times) {
+		powers = make([]float64, len(times))
+	}
+	powers = powers[:len(times)]
 	spikes := 0
 	for i, t := range times {
 		p := r.PowerAt(math.Min(t, dur))
@@ -242,8 +258,13 @@ func (m *Meter) MeasureRun(r Run) (*Report, error) {
 		Spikes:         spikes,
 	}
 	if m.RecordTrace {
+		// The report takes the slices; drop them from the scratch so the
+		// next measurement cannot overwrite a recorded trace.
 		rep.SampleTimes = times
 		rep.SamplePowers = powers
+		m.scratchT, m.scratchP = nil, nil
+	} else {
+		m.scratchT, m.scratchP = times, powers
 	}
 	return rep, nil
 }

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	"energyprop/internal/device"
+	"energyprop/internal/memo"
+	"energyprop/internal/store"
+)
+
+// getStats reads the /stats endpoint.
+func getStats(t *testing.T, base string) memo.Stats {
+	t.Helper()
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/stats status %d", resp.StatusCode)
+	}
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Cache
+}
+
+func measureReq() MeasureRequest {
+	return MeasureRequest{
+		Device:   "p100",
+		Workload: device.Workload{N: 4096, Products: 2},
+		Config:   "bs=24/g=1/r=2",
+		Seed:     1,
+	}
+}
+
+// TestStatsEndpointShape: a fresh server reports an empty cache with
+// the configured capacity, and rejects non-GET methods.
+func TestStatsEndpointShape(t *testing.T) {
+	ts := newTestServer(t)
+	s := getStats(t, ts.URL)
+	if s.Hits != 0 || s.Misses != 0 || s.Size != 0 {
+		t.Errorf("fresh stats = %+v, want all-zero counters", s)
+	}
+	if s.Capacity != CacheCapacity {
+		t.Errorf("capacity = %d, want %d", s.Capacity, CacheCapacity)
+	}
+	resp, err := http.Post(ts.URL+"/stats", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /stats status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestMeasureWarmHitIsByteIdentical: a repeated /measure is served from
+// the cache (miss count frozen, hit count up) with an identical body,
+// and the response headers expose the totals.
+func TestMeasureWarmHitIsByteIdentical(t *testing.T) {
+	ts := newTestServer(t)
+	fetch := func() ([]byte, *http.Response) {
+		resp := postJSON(t, ts.URL+"/measure", measureReq())
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		return body, resp
+	}
+	cold, coldResp := fetch()
+	warm, warmResp := fetch()
+	if string(cold) != string(warm) {
+		t.Errorf("cold and warm /measure bodies differ:\ncold: %s\nwarm: %s", cold, warm)
+	}
+	s := getStats(t, ts.URL)
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss then 1 hit", s)
+	}
+	if coldResp.Header.Get("X-Cache-Misses") != "1" {
+		t.Errorf("cold X-Cache-Misses = %q, want 1", coldResp.Header.Get("X-Cache-Misses"))
+	}
+	if warmResp.Header.Get("X-Cache-Hits") != "1" {
+		t.Errorf("warm X-Cache-Hits = %q, want 1", warmResp.Header.Get("X-Cache-Hits"))
+	}
+}
+
+// TestNocacheEscapeHatch: nocache requests recompute (bit-identical by
+// determinism) and leave the cache untouched.
+func TestNocacheEscapeHatch(t *testing.T) {
+	ts := newTestServer(t)
+	req := measureReq()
+	req.Nocache = true
+	var bodies []string
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, ts.URL+"/measure", req)
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		bodies = append(bodies, string(body))
+	}
+	if bodies[0] != bodies[1] {
+		t.Errorf("nocache recomputation is not deterministic:\n%s\n%s", bodies[0], bodies[1])
+	}
+	s := getStats(t, ts.URL)
+	if s.Hits != 0 || s.Misses != 0 || s.Size != 0 {
+		t.Errorf("stats = %+v, want the cache untouched by nocache requests", s)
+	}
+}
+
+// TestSweepThenMeasureSharesCache: /sweep fills the cache, so a later
+// /measure of one of its points is answered without a new device run.
+func TestSweepThenMeasureSharesCache(t *testing.T) {
+	ts := newTestServer(t)
+	sweep := SweepRequest{Device: "p100", Workload: device.Workload{N: 4096, Products: 2}, Seed: 1}
+	resp := postJSON(t, ts.URL+"/sweep", sweep)
+	var rec store.CampaignRecord
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	after := getStats(t, ts.URL)
+	if after.Misses == 0 || after.Size == 0 {
+		t.Fatalf("stats after sweep = %+v, want populated cache", after)
+	}
+
+	mresp := postJSON(t, ts.URL+"/measure", measureReq())
+	var point MeasureResponse
+	if err := json.NewDecoder(mresp.Body).Decode(&point); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	final := getStats(t, ts.URL)
+	if final.Misses != after.Misses {
+		t.Errorf("/measure after /sweep added misses (%d -> %d); the endpoints must share one cache",
+			after.Misses, final.Misses)
+	}
+	if final.Hits != after.Hits+1 {
+		t.Errorf("hits %d -> %d, want one cache hit for the overlapping point", after.Hits, final.Hits)
+	}
+	// And the cached value matches the sweep's record for that config.
+	for _, r := range rec.Results {
+		if r.Config == point.Key && r.DynEnergyJ != point.MeasuredEnergyJ {
+			t.Errorf("cached /measure energy %v != sweep record %v", point.MeasuredEnergyJ, r.DynEnergyJ)
+		}
+	}
+}
+
+// TestConcurrentIdenticalMeasuresCollapse fires N identical /measure
+// requests in parallel: whatever the interleaving, the cache admits
+// exactly one computation — every other request is a hit or a
+// singleflight join.
+func TestConcurrentIdenticalMeasuresCollapse(t *testing.T) {
+	const n = 8
+	ts := newTestServer(t)
+	var wg sync.WaitGroup
+	bodies := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/measure", measureReq())
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d: %s", resp.StatusCode, body)
+				return
+			}
+			bodies[i] = string(body)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if bodies[i] != bodies[0] {
+			t.Errorf("request %d body differs from request 0:\n%s\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	s := getStats(t, ts.URL)
+	if s.Misses != 1 {
+		t.Errorf("stats = %+v: %d identical requests must trigger exactly one device run", s, n)
+	}
+	if s.Hits+s.Dedups != n-1 {
+		t.Errorf("stats = %+v: the other %d requests must be hits or singleflight joins", s, n-1)
+	}
+}

@@ -11,6 +11,9 @@
 //	POST /sweep     {device, workload, seed, workers}
 //	                                      a full measured campaign,
 //	                                      returned as a store.CampaignRecord
+//	GET  /stats                           measurement-cache counters
+//	                                      (hits, misses, dedups,
+//	                                      evictions, inflight, size)
 //
 // All bodies are JSON. Unknown fields are rejected so client typos
 // surface as errors rather than silently defaulted parameters. Devices
@@ -21,6 +24,16 @@
 // bounds the fan-out (default GOMAXPROCS) without changing the returned
 // record, and a client that disconnects mid-campaign cancels the worker
 // pool through the request context.
+//
+// Measured points are memoized in one per-process content-addressed
+// cache shared by /measure and /sweep: a point is a pure function of
+// (device, workload, config key, seed), so repeated and overlapping
+// requests are answered from the cache with bit-identical values, and
+// concurrent identical requests collapse to a single device run
+// (singleflight). Responses carry an X-Cache-Hits/X-Cache-Misses header
+// pair with the cache totals after the request. Clients that need a
+// fresh computation (e.g. cache-bypass benchmarking) set "nocache":
+// true in the request body.
 package service
 
 import (
@@ -29,9 +42,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"energyprop/internal/campaign"
 	"energyprop/internal/device"
+	"energyprop/internal/memo"
 )
 
 // Request ceilings. The meter samples runs at WattsUp rate (seconds of
@@ -46,6 +61,10 @@ const (
 	MaxRequestProducts = 64
 	// MaxRequestWorkers is the largest accepted sweep fan-out.
 	MaxRequestWorkers = 256
+	// CacheCapacity bounds the per-process measured-point cache (LRU
+	// eviction beyond it). The paper's largest sweep has 110
+	// configurations, so this holds dozens of distinct campaigns.
+	CacheCapacity = 8192
 )
 
 // checkWorkloadLimits rejects workloads that validate structurally but
@@ -84,16 +103,56 @@ func deviceNames() string {
 // Server is the HTTP measurement service.
 type Server struct {
 	mux *http.ServeMux
+	// cache is the per-process measured-point cache shared by /measure
+	// and /sweep. Handlers open devices fresh from the registry per
+	// request, so the name-keyed cache entries always describe registry
+	// behaviour (the sharing precondition of campaign.PointCache).
+	cache *campaign.PointCache
 }
 
 // New builds the server.
 func New() *Server {
-	s := &Server{mux: http.NewServeMux()}
+	s := &Server{
+		mux:   http.NewServeMux(),
+		cache: campaign.NewPointCache(CacheCapacity),
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/devices", s.handleDevices)
 	s.mux.HandleFunc("/measure", s.handleMeasure)
 	s.mux.HandleFunc("/sweep", s.handleSweep)
+	s.mux.HandleFunc("/stats", s.handleStats)
 	return s
+}
+
+// campaignSpec builds the request's campaign spec: the shared cache is
+// attached unless the client opted out with "nocache".
+func (s *Server) campaignSpec(seed int64, nocache bool) campaign.Spec {
+	spec := campaign.DefaultSpec(seed)
+	if !nocache {
+		spec.Cache = s.cache
+	}
+	return spec
+}
+
+// setCacheHeaders exposes the cache totals on a measurement response, so
+// a client can tell warm from cold without a second /stats round trip.
+func (s *Server) setCacheHeaders(w http.ResponseWriter) {
+	st := s.cache.Stats()
+	w.Header().Set("X-Cache-Hits", strconv.FormatUint(st.Hits, 10))
+	w.Header().Set("X-Cache-Misses", strconv.FormatUint(st.Misses, 10))
+}
+
+// StatsResponse is the /stats reply.
+type StatsResponse struct {
+	Cache memo.Stats `json:"cache"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{Cache: s.cache.Stats()})
 }
 
 // Handler returns the root handler.
@@ -144,6 +203,10 @@ type MeasureRequest struct {
 	Workload device.Workload `json:"workload"`
 	Config   string          `json:"config"`
 	Seed     int64           `json:"seed"`
+	// Nocache bypasses the per-process measured-point cache for this
+	// request: the point is recomputed (bit-identical by construction)
+	// and the result is not stored.
+	Nocache bool `json:"nocache,omitempty"`
 }
 
 // MeasureResponse is the /measure reply.
@@ -208,8 +271,11 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// One-point campaign: /measure flows through the same RunConfigs
-	// path as full sweeps, so seeding and statistics are identical.
-	res, err := campaign.RunConfigs(r.Context(), dev, wl, []device.Config{chosen}, campaign.DefaultSpec(req.Seed))
+	// path as full sweeps, so seeding, statistics, and caching are
+	// identical — a /measure of a point a /sweep already computed is a
+	// cache hit, and N concurrent identical /measure requests collapse
+	// to one device run.
+	res, err := campaign.RunConfigs(r.Context(), dev, wl, []device.Config{chosen}, s.campaignSpec(req.Seed, req.Nocache))
 	if err != nil {
 		if requestGone(err) {
 			return
@@ -218,6 +284,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p := res.Points[0]
+	s.setCacheHeaders(w)
 	writeJSON(w, http.StatusOK, MeasureResponse{
 		Device:          res.Device,
 		Config:          p.Config.String(),
@@ -237,6 +304,9 @@ type SweepRequest struct {
 	// Workers bounds the campaign's fan-out; 0 means GOMAXPROCS. The
 	// returned record is identical for every worker count.
 	Workers int `json:"workers"`
+	// Nocache bypasses the per-process measured-point cache for this
+	// sweep; see MeasureRequest.Nocache.
+	Nocache bool `json:"nocache,omitempty"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -259,7 +329,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	spec := campaign.DefaultSpec(req.Seed)
+	spec := s.campaignSpec(req.Seed, req.Nocache)
 	spec.Workers = req.Workers
 	res, err := campaign.RunConfigs(r.Context(), dev, wl, configs, spec)
 	if err != nil {
@@ -275,6 +345,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	s.setCacheHeaders(w)
 	writeJSON(w, http.StatusOK, rec)
 }
 
