@@ -20,6 +20,13 @@
 // repeats the campaign; repeats are answered from the in-process
 // measurement cache (byte-identical by determinism), and the table
 // notes the cache counters.
+//
+// -faults runs the campaign against a deterministic fault injector and
+// -retries grants each point extra attempts; points that exhaust the
+// budget are listed as table notes, surviving points carry an attempts
+// column, and the table covers the survivors:
+//
+//	epstudy -device haswell -n 96 -faults seed=3,transient=0.3 -retries 2
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"energyprop/internal/cli"
 	"energyprop/internal/device"
 	"energyprop/internal/experiment"
+	"energyprop/internal/fault"
 )
 
 func main() {
@@ -58,11 +66,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	n := fs.Int("n", 4096, "matrix/signal dimension N for -device campaigns")
 	products := fs.Int("products", 2, "total problem instances for -device campaigns")
 	reps := fs.Int("reps", 1, "repeat the -device campaign; repeats hit the in-process measurement cache")
+	faultsFlag := fs.String("faults", "", "inject deterministic faults into the -device campaign, e.g. seed=3,transient=0.2,drop=0.1")
+	retries := fs.Int("retries", 0, "extra attempts per point after a failed measurement in the -device campaign")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *reps < 1 {
 		cli.Errorf(stderr, "epstudy: -reps must be >= 1 (got %d)\n", *reps)
+		return 2
+	}
+	if *retries < 0 {
+		cli.Errorf(stderr, "epstudy: -retries must be >= 0 (got %d)\n", *retries)
+		return 2
+	}
+	plan, err := fault.ParsePlan(*faultsFlag)
+	if err != nil {
+		cli.Errorf(stderr, "epstudy: -faults: %v\n", err)
 		return 2
 	}
 	out := cli.NewWriter(stdout)
@@ -82,7 +101,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *devName != "" {
-		t, err := runDeviceCampaign(*devName, *app, *n, *products, *reps, opt)
+		t, err := runDeviceCampaign(*devName, *app, *n, *products, *reps, *retries, plan, opt)
 		if err != nil {
 			cli.Errorf(stderr, "epstudy: %v\n", err)
 			return 1
@@ -151,7 +170,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var tables []*experiment.Table
-	var err error
 	if *runID == "all" {
 		tables, err = experiment.RunAll(opt)
 	} else {
@@ -182,11 +200,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 // reruns the campaign against the attached point cache: warm reruns are
 // byte-identical (the points are pure functions of device, workload,
 // config, and seed) and skip every device run and meter loop.
-func runDeviceCampaign(name, app string, n, products, reps int, opt experiment.Options) (*experiment.Table, error) {
+//
+// A non-empty fault plan wraps the device in the deterministic injector
+// and turns on graceful degradation: surviving points gain an attempts
+// column, exhausted points become table notes, and the measured values
+// of every survivor stay byte-identical to the fault-free campaign.
+func runDeviceCampaign(name, app string, n, products, reps, retries int, plan fault.Plan, opt experiment.Options) (*experiment.Table, error) {
 	dev, err := device.Open(name)
 	if err != nil {
 		return nil, err
 	}
+	var injector *fault.Device
+	if plan.Enabled() {
+		if injector, err = fault.Wrap(dev, plan); err != nil {
+			return nil, err
+		}
+		dev = injector
+	}
+	chaos := plan.Enabled() || retries > 0
 	w := device.Workload{App: app, N: n, Products: products}.Normalized()
 	configs, err := dev.Configs(w)
 	if err != nil {
@@ -195,6 +226,10 @@ func runDeviceCampaign(name, app string, n, products, reps int, opt experiment.O
 	spec := campaign.DefaultSpec(opt.Seed)
 	spec.Workers = opt.Workers
 	spec.Cache = campaign.NewPointCache(0)
+	if chaos {
+		spec.Retry = fault.RetryPolicy{MaxAttempts: retries + 1}
+		spec.ContinueOnError = true
+	}
 	var res *campaign.Result
 	for r := 0; r < reps; r++ {
 		res, err = campaign.RunConfigs(context.Background(), dev, w, configs, spec)
@@ -202,16 +237,28 @@ func runDeviceCampaign(name, app string, n, products, reps int, opt experiment.O
 			return nil, err
 		}
 	}
+	if chaos && len(res.Points) == 0 {
+		return nil, fmt.Errorf("all %d points failed within the retry budget", len(res.Failed))
+	}
 	t := &experiment.Table{
 		Title:   fmt.Sprintf("Measured campaign on %s (%s), %s", res.Device, res.Kind, w),
 		Columns: []string{"config", "key", "seconds", "measured_j", "ci_halfwidth_j", "runs"},
 	}
+	// The attempts column only appears in chaos mode so fault-free table
+	// output stays byte-identical to earlier versions.
+	if chaos {
+		t.Columns = append(t.Columns, "attempts")
+	}
 	for _, p := range res.Points {
-		t.AddRow(p.Config.String(), p.Config.Key(),
+		row := []string{p.Config.String(), p.Config.Key(),
 			fmt.Sprintf("%.4f", p.TrueSeconds),
 			fmt.Sprintf("%.1f", p.MeasuredEnergyJ),
 			fmt.Sprintf("%.2f", p.HalfWidthJ),
-			fmt.Sprintf("%d", p.Runs))
+			fmt.Sprintf("%d", p.Runs)}
+		if chaos {
+			row = append(row, fmt.Sprintf("%d", p.Attempts))
+		}
+		t.AddRow(row...)
 	}
 	t.AddNote("campaign cost: %d total runs across %d configurations (seed %d)",
 		res.TotalRuns, len(res.Points), opt.Seed)
@@ -219,6 +266,14 @@ func runDeviceCampaign(name, app string, n, products, reps int, opt experiment.O
 		s := spec.Cache.Stats()
 		t.AddNote("cache over %d reps: hits=%d misses=%d dedups=%d evictions=%d",
 			reps, s.Hits, s.Misses, s.Dedups, s.Evictions)
+	}
+	for _, f := range res.Failed {
+		t.AddNote("failed: %s attempts=%d err=%v", f.Config.Key(), f.Attempts, f.Err)
+	}
+	if injector != nil {
+		s := injector.Stats()
+		t.AddNote("faults: runs=%d transients=%d drops=%d outliers=%d delays=%d",
+			s.Runs, s.Transients, s.Drops, s.Outliers, s.Delays)
 	}
 	return t, nil
 }

@@ -18,6 +18,14 @@
 // in-process content-addressed outcome cache (the runs are
 // deterministic, so a warm rerun is byte-identical and nearly free),
 // and -cachestats appends the cache counters as CSV comments.
+//
+// With -faults the sweep runs against a deterministic fault injector
+// (see internal/fault) and -retries grants each configuration extra
+// attempts; configurations that exhaust the budget are reported as
+// "# failed:" comment rows, the CSV and fronts cover the survivors,
+// and the exit code is 1 only when nothing survived:
+//
+//	gpusweep -device p100 -faults seed=7,transient=0.3 -retries 3
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 
 	"energyprop/internal/cli"
 	"energyprop/internal/device"
+	"energyprop/internal/fault"
 	"energyprop/internal/memo"
 	"energyprop/internal/parallel"
 	"energyprop/internal/pareto"
@@ -57,12 +66,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = one per CPU)")
 	reps := fs.Int("reps", 1, "repeat the sweep; repeats hit the in-process outcome cache")
 	cachestats := fs.Bool("cachestats", false, "append outcome-cache counters as CSV comments")
+	faultsFlag := fs.String("faults", "", "inject deterministic faults, e.g. seed=7,transient=0.2,drop=0.1,outlier=0.05,latency=2ms")
+	retries := fs.Int("retries", 0, "extra attempts per configuration after a failed run")
 	list := fs.Bool("list", false, "list the registered devices and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *reps < 1 {
 		cli.Errorf(stderr, "gpusweep: -reps must be >= 1 (got %d)\n", *reps)
+		return 2
+	}
+	if *retries < 0 {
+		cli.Errorf(stderr, "gpusweep: -retries must be >= 0 (got %d)\n", *retries)
+		return 2
+	}
+	plan, err := fault.ParsePlan(*faultsFlag)
+	if err != nil {
+		cli.Errorf(stderr, "gpusweep: -faults: %v\n", err)
 		return 2
 	}
 
@@ -99,6 +119,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if ap, ok := dev.(device.AnalyticProvider); ok {
 		dev = ap.Analytic()
 	}
+	// The fault injector wraps the device after the analytic conversion so
+	// the injected schedule applies to exactly the runs the sweep makes.
+	// It keeps the inner device's identity, so the outcome cache stays
+	// keyed by the real device and errors are never cached — a retried
+	// run re-executes and, when it succeeds, is byte-identical to the
+	// fault-free sweep.
+	var injector *fault.Device
+	if plan.Enabled() {
+		injector, err = fault.Wrap(dev, plan)
+		if err != nil {
+			cli.Errorf(stderr, "gpusweep: -faults: %v\n", err)
+			return 2
+		}
+		dev = injector
+	}
+	policy := fault.RetryPolicy{MaxAttempts: *retries + 1}
 
 	workload := device.Workload{App: *app, N: *n, Products: *products}.Normalized()
 	configs, err := dev.Configs(workload)
@@ -111,17 +147,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// distinct point; the runs are deterministic, so a cached outcome is
 	// identical to a fresh one.
 	cache := memo.New[*device.Outcome](0)
-	sweep := func() ([]*device.Outcome, error) {
-		return parallel.Map(ctx, *workers, len(configs), func(ctx context.Context, i int) (*device.Outcome, error) {
-			o, _, err := cache.Do(outcomeKey(dev, workload, configs[i]), func() (*device.Outcome, error) {
-				return dev.Run(ctx, workload, configs[i])
+	sweep := func() ([]sweepPoint, error) {
+		return parallel.Map(ctx, *workers, len(configs), func(ctx context.Context, i int) (sweepPoint, error) {
+			var o *device.Outcome
+			attempts, err := policy.Do(ctx, device.ConfigSeed(plan.Seed, configs[i]), func(int) error {
+				var aerr error
+				o, _, aerr = cache.Do(outcomeKey(dev, workload, configs[i]), func() (*device.Outcome, error) {
+					return dev.Run(ctx, workload, configs[i])
+				})
+				return aerr
 			})
-			return o, err
+			if err != nil {
+				if fault.IsContextErr(err) {
+					return sweepPoint{}, err
+				}
+				return sweepPoint{attempts: attempts, err: err}, nil
+			}
+			return sweepPoint{outcome: o, attempts: attempts}, nil
 		})
 	}
-	var outcomes []*device.Outcome
+	var points []sweepPoint
 	for r := 0; r < *reps; r++ {
-		outcomes, err = sweep()
+		points, err = sweep()
 		if err != nil {
 			cli.Errorf(stderr, "gpusweep: %v\n", err)
 			return 1
@@ -129,18 +176,38 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *jsonOut != "" {
-		if err := saveJSON(*jsonOut, dev, workload, configs, outcomes); err != nil {
+		if err := saveJSON(*jsonOut, dev, workload, configs, points, plan.Enabled() || *retries > 0); err != nil {
 			cli.Errorf(stderr, "gpusweep: writing %s: %v\n", *jsonOut, err)
 			return 1
 		}
 	}
 
 	out.Println("config,seconds,dyn_power_w,dyn_energy_j")
-	points := make([]pareto.Point, 0, len(configs))
-	for i, o := range outcomes {
+	front := make([]pareto.Point, 0, len(configs))
+	survivors, failed := 0, 0
+	for i, p := range points {
+		if p.err != nil {
+			failed++
+			continue
+		}
+		survivors++
+		o := p.outcome
 		out.Printf("%s,%.4f,%.2f,%.1f\n",
 			configs[i].Key(), o.TrueSeconds, o.TrueEnergyJ/o.TrueSeconds, o.TrueEnergyJ)
-		points = append(points, pareto.Point{Label: configs[i].String(), Time: o.TrueSeconds, Energy: o.TrueEnergyJ})
+		front = append(front, pareto.Point{Label: configs[i].String(), Time: o.TrueSeconds, Energy: o.TrueEnergyJ})
+	}
+	// Failed configurations degrade to comment rows so downstream CSV
+	// consumers still parse the survivors, and the failure provenance
+	// (attempt count, final error) stays in the artifact.
+	for i, p := range points {
+		if p.err != nil {
+			out.Printf("# failed: %s attempts=%d err=%v\n", configs[i].Key(), p.attempts, p.err)
+		}
+	}
+	if injector != nil {
+		s := injector.Stats()
+		out.Printf("# faults: runs=%d transients=%d drops=%d outliers=%d delays=%d survivors=%d failed=%d\n",
+			s.Runs, s.Transients, s.Drops, s.Outliers, s.Delays, survivors, failed)
 	}
 
 	if *cachestats {
@@ -149,10 +216,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			*reps, s.Hits, s.Misses, s.Dedups, s.Evictions, s.Size)
 	}
 
+	if survivors == 0 {
+		cli.Errorf(stderr, "gpusweep: all %d configurations failed\n", failed)
+		return 1
+	}
+
 	if !*fronts {
 		return done()
 	}
-	ranks := pareto.Ranks(points)
+	ranks := pareto.Ranks(front)
 	for i, rank := range ranks {
 		if i > 2 {
 			out.Printf("# ... %d further ranks\n", len(ranks)-i)
@@ -174,6 +246,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	return done()
 }
 
+// sweepPoint is one configuration's sweep outcome: either a measured
+// model-true outcome or the error that exhausted its retry budget, plus
+// the number of attempts consumed either way.
+type sweepPoint struct {
+	outcome  *device.Outcome
+	attempts int
+	err      error
+}
+
 // outcomeKey derives the content-addressed cache key of one model-true
 // device run. The simulators are deterministic, so an outcome is a pure
 // function of (device identity, normalized workload, configuration key)
@@ -188,21 +269,39 @@ func outcomeKey(dev device.Device, w device.Workload, c device.Config) string {
 }
 
 // saveJSON persists the model-true sweep as a device-generic campaign
-// record through internal/store.
-func saveJSON(path string, dev device.Device, w device.Workload, configs []device.Config, outcomes []*device.Outcome) error {
+// record through internal/store. Attempt counts are provenance, not
+// measurement, and are only persisted when the fault/retry machinery is
+// active (withAttempts) so fault-free records stay byte-identical to
+// earlier versions.
+func saveJSON(path string, dev device.Device, w device.Workload, configs []device.Config, points []sweepPoint, withAttempts bool) error {
 	rec := &store.CampaignRecord{
 		Version:  store.FormatVersion,
 		Device:   dev.Spec().CatalogName,
 		Kind:     dev.Kind(),
 		Workload: w,
 	}
-	for i, o := range outcomes {
+	for i, p := range points {
+		attempts := 0
+		if withAttempts {
+			attempts = p.attempts
+		}
+		if p.err != nil {
+			rec.Failed = append(rec.Failed, store.FailedPoint{
+				Config:   configs[i].Key(),
+				Label:    configs[i].String(),
+				Attempts: attempts,
+				Error:    p.err.Error(),
+			})
+			continue
+		}
+		o := p.outcome
 		rec.Results = append(rec.Results, store.MeasuredPoint{
 			Config:     configs[i].Key(),
 			Label:      configs[i].String(),
 			Seconds:    o.TrueSeconds,
 			DynPowerW:  o.TrueEnergyJ / o.TrueSeconds,
 			DynEnergyJ: o.TrueEnergyJ,
+			Attempts:   attempts,
 		})
 	}
 	f, err := os.Create(path)

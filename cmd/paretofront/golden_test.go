@@ -1,0 +1,50 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestReadPointsGolden locks the parser against a committed fixture that
+// mixes all three accepted CSV layouts, quoting, comments, and a header:
+// the parsed points (label, exact time and energy via %g) must match the
+// golden byte-for-byte.
+func TestReadPointsGolden(t *testing.T) {
+	fixture := filepath.Join("testdata", "mixed_layouts.csv")
+	f, err := os.Open(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	points, err := readPoints(f)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", fixture, err)
+	}
+	var sb strings.Builder
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%s|%g|%g\n", p.Label, p.Time, p.Energy)
+	}
+	got := sb.String()
+
+	goldenPath := filepath.Join("testdata", "mixed_layouts.golden.txt")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("parsed points differ from %s (regenerate with -update if intended)\ngot:\n%s\nwant:\n%s",
+			goldenPath, got, want)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"energyprop/internal/device"
+	"energyprop/internal/fault"
 	"energyprop/internal/meter"
 	"energyprop/internal/parallel"
 	"energyprop/internal/stats"
@@ -54,6 +55,20 @@ type Spec struct {
 	// with the running completion count. Calls are serialized by the
 	// engine, so the callback needs no locking of its own.
 	Progress func(done, total int)
+	// Retry bounds re-measurement of a failing point: a transient device
+	// error or a corrupt meter sample burns one attempt and the point is
+	// re-measured from a fresh meter (seeded, as always, by
+	// device.ConfigSeed), so a recovered point is byte-identical to one
+	// that succeeded first try. The zero value means one attempt (no
+	// retries). Backoff jitter is deterministic per point — see
+	// fault.RetryPolicy.
+	Retry fault.RetryPolicy
+	// ContinueOnError degrades gracefully instead of aborting: a point
+	// that exhausts its retry budget is recorded in Result.Failed with
+	// its error, and the campaign carries on measuring the rest. Context
+	// cancellation still aborts the whole sweep — a gone caller is not a
+	// point failure.
+	ContinueOnError bool
 }
 
 // DefaultSpec returns the paper's methodology with 1% meter noise.
@@ -74,6 +89,20 @@ type PointReport struct {
 	HalfWidthJ float64
 	// Runs is the number of repetitions the criterion required.
 	Runs int
+	// Attempts is how many measurement attempts this point consumed
+	// (1 = succeeded first try). Attempt accounting is provenance, not
+	// measurement: the measured values of a point are identical whatever
+	// Attempts says.
+	Attempts int
+}
+
+// PointFailure is one configuration a degrading campaign gave up on.
+type PointFailure struct {
+	Config device.Config
+	// Attempts is the retry budget consumed before giving up.
+	Attempts int
+	// Err is the final attempt's error.
+	Err error
 }
 
 // Result is the campaign outcome.
@@ -83,6 +112,10 @@ type Result struct {
 	Kind     string
 	Workload device.Workload
 	Points   []PointReport
+	// Failed lists the points that exhausted their retry budget when the
+	// spec's ContinueOnError is set; analysis (fronts, trade-offs) runs
+	// over the surviving Points.
+	Failed []PointFailure
 	// TotalRuns sums the repetitions across configurations — the
 	// campaign's cost, which is what makes exhaustive global fronts
 	// "expensive and may not be feasible in dynamic environments" (paper
@@ -136,22 +169,59 @@ func RunConfigs(ctx context.Context, dev device.Device, w device.Workload, confi
 	}
 	w = w.Normalized()
 	prog := parallel.NewProgress(len(configs), spec.Progress)
-	points, err := parallel.Map(ctx, spec.Workers, len(configs), func(ctx context.Context, i int) (PointReport, error) {
-		p, err := cachedPoint(ctx, dev, w, configs[i], spec)
+	// pointOutcome carries either a measured report or a recorded
+	// failure through the pool, so a degrading campaign keeps its
+	// order-indexed results without aborting on the first bad point.
+	type pointOutcome struct {
+		report  PointReport
+		failure *PointFailure
+	}
+	outcomes, err := parallel.Map(ctx, spec.Workers, len(configs), func(ctx context.Context, i int) (pointOutcome, error) {
+		p, err := retriedPoint(ctx, dev, w, configs[i], spec)
 		if err != nil {
-			return PointReport{}, err
+			if !spec.ContinueOnError || fault.IsContextErr(err) {
+				return pointOutcome{}, err
+			}
+			prog.Tick()
+			return pointOutcome{failure: &PointFailure{Config: configs[i], Attempts: p.Attempts, Err: err}}, nil
 		}
 		prog.Tick()
-		return p, nil
+		return pointOutcome{report: p}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Device: dev.Spec().CatalogName, Kind: dev.Kind(), Workload: w, Points: points}
-	for _, p := range points {
-		out.TotalRuns += p.Runs
+	out := &Result{Device: dev.Spec().CatalogName, Kind: dev.Kind(), Workload: w}
+	for _, o := range outcomes {
+		if o.failure != nil {
+			out.Failed = append(out.Failed, *o.failure)
+			continue
+		}
+		out.Points = append(out.Points, o.report)
+		out.TotalRuns += o.report.Runs
 	}
 	return out, nil
+}
+
+// retriedPoint measures one configuration under the spec's retry
+// policy: each attempt runs the full cachedPoint path (device run, fresh
+// meter, statistical loop), so a retry that succeeds reproduces the
+// fault-free measurement bit-for-bit — the meter seed depends only on
+// (spec.Seed, config), never on the attempt number. Backoff jitter is
+// seeded from the same point identity, keeping retry timing independent
+// of sweep order and worker count.
+func retriedPoint(ctx context.Context, dev device.Device, w device.Workload, c device.Config, spec Spec) (PointReport, error) {
+	var p PointReport
+	attempts, err := spec.Retry.Do(ctx, device.ConfigSeed(spec.Seed, c), func(int) error {
+		var aerr error
+		p, aerr = cachedPoint(ctx, dev, w, c, spec)
+		return aerr
+	})
+	if err != nil {
+		return PointReport{Config: c, Attempts: attempts}, err
+	}
+	p.Attempts = attempts
+	return p, nil
 }
 
 // cachedPoint measures one configuration through the spec's cache when
@@ -261,7 +331,7 @@ func CompareConfigs(dev device.Device, w device.Workload, c1, c2 device.Config, 
 // device-generic record (measured energy, true time — matching how the
 // paper measures kernel time with CUDA events but energy with the meter).
 func (r *Result) Record() (*store.CampaignRecord, error) {
-	if len(r.Points) == 0 {
+	if len(r.Points) == 0 && len(r.Failed) == 0 {
 		return nil, errors.New("campaign: empty result")
 	}
 	rec := &store.CampaignRecord{
@@ -277,6 +347,19 @@ func (r *Result) Record() (*store.CampaignRecord, error) {
 			Seconds:    p.TrueSeconds,
 			DynPowerW:  p.MeasuredEnergyJ / p.TrueSeconds,
 			DynEnergyJ: p.MeasuredEnergyJ,
+			Attempts:   p.Attempts,
+		})
+	}
+	for _, f := range r.Failed {
+		msg := "unknown error"
+		if f.Err != nil {
+			msg = f.Err.Error()
+		}
+		rec.Failed = append(rec.Failed, store.FailedPoint{
+			Config:   f.Config.Key(),
+			Label:    f.Config.String(),
+			Attempts: f.Attempts,
+			Error:    msg,
 		})
 	}
 	if err := rec.Validate(); err != nil {

@@ -1,0 +1,76 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParsePlan parses the CLI fault-spec syntax shared by `gpusweep
+// -faults` and `epstudy -faults`: a comma-separated key=value list, e.g.
+//
+//	seed=7,transient=0.2,drop=0.1,outlier=0.05,latency=2ms
+//
+// Keys: seed (int), transient/drop/outlier (probabilities in [0, 1]),
+// latency (a Go duration). Unknown keys are errors so typos cannot
+// silently disable a chaos run. The empty string parses to the zero
+// (disabled) plan.
+func ParsePlan(s string) (Plan, error) {
+	var p Plan
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("fault: bad plan field %q (want key=value)", field)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "transient":
+			p.Transient, err = strconv.ParseFloat(val, 64)
+		case "drop":
+			p.Drop, err = strconv.ParseFloat(val, 64)
+		case "outlier":
+			p.Outlier, err = strconv.ParseFloat(val, 64)
+		case "latency":
+			p.Latency, err = time.ParseDuration(val)
+		default:
+			return Plan{}, fmt.Errorf("fault: unknown plan key %q (want seed, transient, drop, outlier, latency)", key)
+		}
+		if err != nil {
+			return Plan{}, fmt.Errorf("fault: bad %s value %q: %v", key, val, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// String renders the plan in ParsePlan syntax (round-trippable).
+func (p Plan) String() string {
+	parts := []string{fmt.Sprintf("seed=%d", p.Seed)}
+	if p.Transient > 0 {
+		parts = append(parts, "transient="+strconv.FormatFloat(p.Transient, 'g', -1, 64))
+	}
+	if p.Drop > 0 {
+		parts = append(parts, "drop="+strconv.FormatFloat(p.Drop, 'g', -1, 64))
+	}
+	if p.Outlier > 0 {
+		parts = append(parts, "outlier="+strconv.FormatFloat(p.Outlier, 'g', -1, 64))
+	}
+	if p.Latency > 0 {
+		parts = append(parts, "latency="+p.Latency.String())
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,77 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParsePlanRoundTrip: String() output parses back to the same plan.
+func TestParsePlanRoundTrip(t *testing.T) {
+	for _, plan := range []Plan{
+		{},
+		{Seed: 7, Transient: 0.2},
+		{Seed: -3, Drop: 0.1, Outlier: 0.05},
+		{Seed: 1, Transient: 0.25, Drop: 0.25, Outlier: 0.25, Latency: 2 * time.Millisecond},
+		{Latency: 1500 * time.Microsecond},
+	} {
+		got, err := ParsePlan(plan.String())
+		if err != nil {
+			t.Errorf("round-trip of %q failed: %v", plan.String(), err)
+			continue
+		}
+		if got != plan {
+			t.Errorf("round-trip of %q: got %+v, want %+v", plan.String(), got, plan)
+		}
+	}
+}
+
+// TestParsePlanValues: spot-check a literal flag string.
+func TestParsePlanValues(t *testing.T) {
+	plan, err := ParsePlan("seed=7,transient=0.2,drop=0.1,outlier=0.05,latency=2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{Seed: 7, Transient: 0.2, Drop: 0.1, Outlier: 0.05, Latency: 2 * time.Millisecond}
+	if plan != want {
+		t.Errorf("got %+v, want %+v", plan, want)
+	}
+}
+
+// TestParsePlanEmpty: the empty string is the disabled plan.
+func TestParsePlanEmpty(t *testing.T) {
+	plan, err := ParsePlan("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Enabled() {
+		t.Errorf("empty plan is enabled: %+v", plan)
+	}
+}
+
+// TestParsePlanRejects: typos, bad values, and out-of-range plans fail
+// with a diagnostic naming the problem.
+func TestParsePlanRejects(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want string
+	}{
+		{"bogus=1", "unknown plan key"},
+		{"transient", "="},
+		{"transient=x", "transient"},
+		{"seed=1.5", "seed"},
+		{"latency=fast", "latency"},
+		{"transient=2", "[0, 1]"},
+		{"transient=0.6,drop=0.6", "sum"},
+		{"latency=-1s", "latency"},
+	} {
+		_, err := ParsePlan(tc.in)
+		if err == nil {
+			t.Errorf("ParsePlan(%q) accepted", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParsePlan(%q) error %q does not mention %q", tc.in, err, tc.want)
+		}
+	}
+}

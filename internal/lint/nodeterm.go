@@ -19,6 +19,7 @@ var determScoped = map[string]bool{
 	"energyprop/internal/device":     true,
 	"energyprop/internal/service":    true,
 	"energyprop/internal/experiment": true,
+	"energyprop/internal/fault":      true,
 }
 
 // randConstructors are the math/rand package functions that *build*

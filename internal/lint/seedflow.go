@@ -19,6 +19,7 @@ var seedFlowScoped = map[string]bool{
 	"energyprop/internal/device":   true,
 	"energyprop/internal/meter":    true,
 	"energyprop/internal/service":  true,
+	"energyprop/internal/fault":    true,
 }
 
 // seedFlowStrict is the subset of scoped packages where the device-generic

@@ -12,6 +12,7 @@ package meter
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -185,6 +186,13 @@ type Report struct {
 // ErrBadRun is returned for runs with non-positive duration.
 var ErrBadRun = errors.New("meter: run duration must be positive")
 
+// ErrCorruptSample marks a physically impossible meter reading — NaN,
+// infinite, or negative watts at the wall. Real WattsUp deployments see
+// these as dropped samples or register glitches; the meter fails the
+// measurement loudly instead of integrating garbage into the energy, so
+// the campaign layer can retry the point from a fresh meter.
+var ErrCorruptSample = errors.New("meter: corrupt power sample")
+
 // MeasureRun samples the run's power at the meter's interval, applies the
 // meter's noise, integrates with the trapezoidal rule, and subtracts the
 // idle baseline — the HCLWattsUp dynamic/total decomposition. Runs shorter
@@ -239,6 +247,14 @@ func (m *Meter) MeasureRun(r Run) (*Report, error) {
 			}
 			p *= f
 			spikes++
+		}
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+			// Keep the scratch for reuse, then fail the whole measurement:
+			// a dropped or glitched sample poisons the trapezoidal
+			// integral, and averaging it away would silently corrupt the
+			// record.
+			m.scratchT, m.scratchP = times, powers
+			return nil, fmt.Errorf("%w: sample %d at t=%.4gs reads %v W", ErrCorruptSample, i, t, p)
 		}
 		powers[i] = p
 	}

@@ -1,0 +1,201 @@
+package pareto
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomPoints draws n points from a seeded generator; a coarse grid
+// (values quantized to 0.25) makes duplicate objective vectors and ties
+// likely, which is where front bugs hide.
+func randomPoints(rng *rand.Rand, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			Label:  fmt.Sprintf("p%d", i),
+			Time:   0.25 * float64(1+rng.Intn(40)),
+			Energy: 0.25 * float64(1+rng.Intn(40)),
+		}
+	}
+	return pts
+}
+
+// objectives builds a multiset of objective vectors for set comparison.
+func objectives(pts []Point) map[[2]float64]int {
+	m := make(map[[2]float64]int, len(pts))
+	for _, p := range pts {
+		m[[2]float64{p.Time, p.Energy}]++
+	}
+	return m
+}
+
+// TestFrontSubsetOfInput: every front point's objective vector occurs in
+// the input (the front never invents points).
+func TestFrontSubsetOfInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 200; trial++ {
+		pts := randomPoints(rng, 1+rng.Intn(60))
+		in := objectives(pts)
+		for _, f := range Front(pts) {
+			if in[[2]float64{f.Time, f.Energy}] == 0 {
+				t.Fatalf("trial %d: front point %+v not in input", trial, f)
+			}
+		}
+	}
+}
+
+// TestFrontHasNoDominatedPoint: no input point dominates any front
+// point, and front points never dominate each other.
+func TestFrontHasNoDominatedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	for trial := 0; trial < 200; trial++ {
+		pts := randomPoints(rng, 1+rng.Intn(60))
+		front := Front(pts)
+		if len(front) == 0 {
+			t.Fatalf("trial %d: empty front for %d points", trial, len(pts))
+		}
+		for _, f := range front {
+			for _, p := range pts {
+				if Dominates(p, f) {
+					t.Fatalf("trial %d: input %+v dominates front point %+v", trial, p, f)
+				}
+			}
+			for _, g := range front {
+				if Dominates(f, g) {
+					t.Fatalf("trial %d: front point %+v dominates front point %+v", trial, f, g)
+				}
+			}
+		}
+	}
+}
+
+// TestFrontCompleteness: every non-dominated distinct objective vector
+// of the input appears on the front — together with the subset and
+// no-dominated properties this pins the front exactly.
+func TestFrontCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	for trial := 0; trial < 200; trial++ {
+		pts := randomPoints(rng, 1+rng.Intn(60))
+		got := objectives(Front(pts))
+		for _, p := range pts {
+			dominated := false
+			for _, q := range pts {
+				if Dominates(q, p) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated && got[[2]float64{p.Time, p.Energy}] == 0 {
+				t.Fatalf("trial %d: non-dominated %+v missing from front", trial, p)
+			}
+		}
+	}
+}
+
+// TestFrontInvariantUnderPermutation: shuffling the input changes
+// neither the front's objective vectors nor their order (the front is
+// sorted by time).
+func TestFrontInvariantUnderPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 100; trial++ {
+		pts := randomPoints(rng, 2+rng.Intn(40))
+		want := Front(pts)
+		shuffled := append([]Point(nil), pts...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := Front(shuffled)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: permutation changed front size: %d vs %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if math.Float64bits(got[i].Time) != math.Float64bits(want[i].Time) ||
+				math.Float64bits(got[i].Energy) != math.Float64bits(want[i].Energy) {
+				t.Fatalf("trial %d: permutation changed front[%d]: %+v vs %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFrontInvariantUnderDuplication: concatenating the input with
+// itself (and with extra copies of random elements) leaves the front's
+// objective vectors unchanged.
+func TestFrontInvariantUnderDuplication(t *testing.T) {
+	rng := rand.New(rand.NewSource(405))
+	for trial := 0; trial < 100; trial++ {
+		pts := randomPoints(rng, 1+rng.Intn(40))
+		want := Front(pts)
+		doubled := append(append([]Point(nil), pts...), pts...)
+		for k := 0; k < 5; k++ {
+			doubled = append(doubled, pts[rng.Intn(len(pts))])
+		}
+		got := Front(doubled)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: duplication changed front size: %d vs %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if math.Float64bits(got[i].Time) != math.Float64bits(want[i].Time) ||
+				math.Float64bits(got[i].Energy) != math.Float64bits(want[i].Energy) {
+				t.Fatalf("trial %d: duplication changed front[%d]: %+v vs %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRanksPartitionDistinctVectors: the ranks together contain every
+// distinct objective vector exactly once, and each rank is internally
+// non-dominated while being dominated by someone in the previous rank.
+func TestRanksPartitionDistinctVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(406))
+	for trial := 0; trial < 100; trial++ {
+		pts := randomPoints(rng, 1+rng.Intn(50))
+		distinct := make(map[[2]float64]bool, len(pts))
+		for _, p := range pts {
+			distinct[[2]float64{p.Time, p.Energy}] = true
+		}
+		ranks := Ranks(pts)
+		total := 0
+		seen := make(map[[2]float64]bool)
+		for r, rank := range ranks {
+			if len(rank) == 0 {
+				t.Fatalf("trial %d: empty rank %d", trial, r)
+			}
+			total += len(rank)
+			for _, p := range rank {
+				key := [2]float64{p.Time, p.Energy}
+				if seen[key] {
+					t.Fatalf("trial %d: vector %v appears in two ranks", trial, key)
+				}
+				seen[key] = true
+				if !distinct[key] {
+					t.Fatalf("trial %d: rank %d invented vector %v", trial, r, key)
+				}
+			}
+			for _, a := range rank {
+				for _, b := range rank {
+					if Dominates(a, b) {
+						t.Fatalf("trial %d: rank %d contains dominated point %+v", trial, r, b)
+					}
+				}
+			}
+			if r == 0 {
+				continue
+			}
+			for _, p := range rank {
+				found := false
+				for _, q := range ranks[r-1] {
+					if Dominates(q, p) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d: rank-%d point %+v not dominated by rank %d", trial, r, p, r-1)
+				}
+			}
+		}
+		if total != len(distinct) {
+			t.Fatalf("trial %d: ranks hold %d vectors, input has %d distinct", trial, total, len(distinct))
+		}
+	}
+}

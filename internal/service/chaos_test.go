@@ -1,0 +1,309 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"energyprop/internal/device"
+	"energyprop/internal/store"
+)
+
+// cpuWorkload keeps service chaos tests fast: 255 haswell configs at
+// N=48 measure in milliseconds.
+func cpuWorkload() device.Workload {
+	return device.Workload{N: 48, Products: 1}
+}
+
+// decodeRecord decodes a sweep reply body into a campaign record.
+func decodeRecord(t *testing.T, r io.Reader) *store.CampaignRecord {
+	t.Helper()
+	var rec store.CampaignRecord
+	if err := json.NewDecoder(r).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	return &rec
+}
+
+// TestSweepWithFaultsFullRecovery: a fault schedule plus a generous
+// retry budget must return 200 with every point recovered and the
+// record byte-identical (attempts aside) to the fault-free sweep.
+func TestSweepWithFaultsFullRecovery(t *testing.T) {
+	ts := newTestServer(t)
+	clean := postJSON(t, ts.URL+"/sweep", SweepRequest{Device: "haswell", Workload: cpuWorkload(), Seed: 9})
+	if clean.StatusCode != http.StatusOK {
+		t.Fatalf("clean sweep status %d", clean.StatusCode)
+	}
+	cleanRec := decodeRecord(t, clean.Body)
+
+	// Nocache: the clean sweep above already populated the server's point
+	// cache, and cached points never reach the injector.
+	faulty := postJSON(t, ts.URL+"/sweep", SweepRequest{
+		Device: "haswell", Workload: cpuWorkload(), Seed: 9,
+		Nocache: true,
+		Retries: 8,
+		Faults:  &FaultRequest{Seed: 97, Transient: 0.2, Drop: 0.05, Outlier: 0.05},
+	})
+	if faulty.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(faulty.Body)
+		t.Fatalf("faulty sweep status %d (want full recovery): %s", faulty.StatusCode, body)
+	}
+	if got := faulty.Header.Get("X-Points-Failed"); got != "" && got != "0" {
+		t.Errorf("X-Points-Failed = %q on a fully recovered sweep", got)
+	}
+	faultyRec := decodeRecord(t, faulty.Body)
+	if len(faultyRec.Failed) != 0 {
+		t.Fatalf("%d failed points on a fully recovered sweep", len(faultyRec.Failed))
+	}
+	if len(faultyRec.Results) != len(cleanRec.Results) {
+		t.Fatalf("faulty sweep has %d results, clean %d", len(faultyRec.Results), len(cleanRec.Results))
+	}
+	recovered := 0
+	for i, p := range faultyRec.Results {
+		want := cleanRec.Results[i]
+		if p.Config != want.Config ||
+			math.Float64bits(p.Seconds) != math.Float64bits(want.Seconds) ||
+			math.Float64bits(p.DynEnergyJ) != math.Float64bits(want.DynEnergyJ) {
+			t.Errorf("point %s differs from fault-free sweep", p.Config)
+		}
+		if p.Attempts > 1 {
+			recovered++
+		}
+	}
+	if recovered == 0 {
+		t.Error("no point needed a retry — the chaos sweep is vacuous")
+	}
+}
+
+// TestSweepPartialContent: a schedule with no retry budget leaves real
+// failures: 206, X-Points-Failed, a failed section, and survivors that
+// still match the fault-free sweep.
+func TestSweepPartialContent(t *testing.T) {
+	ts := newTestServer(t)
+	clean := postJSON(t, ts.URL+"/sweep", SweepRequest{Device: "haswell", Workload: cpuWorkload(), Seed: 9})
+	cleanRec := decodeRecord(t, clean.Body)
+	cleanByKey := make(map[string]store.MeasuredPoint, len(cleanRec.Results))
+	for _, p := range cleanRec.Results {
+		cleanByKey[p.Config] = p
+	}
+
+	resp := postJSON(t, ts.URL+"/sweep", SweepRequest{
+		Device: "haswell", Workload: cpuWorkload(), Seed: 9,
+		Nocache: true,
+		Faults:  &FaultRequest{Seed: 5, Transient: 0.3, Drop: 0.1},
+	})
+	if resp.StatusCode != http.StatusPartialContent {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d, want 206: %s", resp.StatusCode, body)
+	}
+	rec := decodeRecord(t, resp.Body)
+	if len(rec.Failed) == 0 {
+		t.Fatal("206 reply with no failed section")
+	}
+	if got := resp.Header.Get("X-Points-Failed"); got == "" || got == "0" {
+		t.Errorf("X-Points-Failed = %q on a partial sweep", got)
+	}
+	for _, f := range rec.Failed {
+		if f.Error == "" {
+			t.Errorf("failed point %s has no error text", f.Config)
+		}
+	}
+	for _, p := range rec.Results {
+		want, ok := cleanByKey[p.Config]
+		if !ok {
+			t.Fatalf("survivor %s missing from clean sweep", p.Config)
+		}
+		if math.Float64bits(p.DynEnergyJ) != math.Float64bits(want.DynEnergyJ) {
+			t.Errorf("survivor %s differs from fault-free value", p.Config)
+		}
+	}
+}
+
+// TestSweepAllPointsFailed: transient=1 with no retries leaves nothing;
+// the reply is 502 with the failure count in the header.
+func TestSweepAllPointsFailed(t *testing.T) {
+	ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/sweep", SweepRequest{
+		Device: "haswell", Workload: cpuWorkload(), Seed: 9,
+		Faults: &FaultRequest{Seed: 1, Transient: 1},
+	})
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Points-Failed"); got == "" || got == "0" {
+		t.Errorf("X-Points-Failed = %q when every point failed", got)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "failed") {
+		t.Errorf("502 body %q does not explain the failure", body)
+	}
+}
+
+// TestMeasureWithFaultsRecovers: /measure reports the consumed attempts
+// when the retry budget recovers the point, and the measured value
+// matches the fault-free one.
+func TestMeasureWithFaultsRecovers(t *testing.T) {
+	ts := newTestServer(t)
+	w := device.Workload{N: 1024, Products: 2}
+	clean := postJSON(t, ts.URL+"/measure", MeasureRequest{Device: "p100", Workload: w, Config: "bs=8/g=1/r=2", Seed: 3})
+	if clean.StatusCode != http.StatusOK {
+		t.Fatalf("clean measure status %d", clean.StatusCode)
+	}
+	var cleanResp MeasureResponse
+	if err := json.NewDecoder(clean.Body).Decode(&cleanResp); err != nil {
+		t.Fatal(err)
+	}
+	if cleanResp.Attempts != 1 {
+		t.Errorf("clean measure consumed %d attempts, want 1", cleanResp.Attempts)
+	}
+
+	// A high (but <1) probability with the full budget recovers this
+	// schedule with certainty — deterministic, so stable forever. Nocache
+	// keeps the clean measurement above from answering the faulty one.
+	faulty := postJSON(t, ts.URL+"/measure", MeasureRequest{
+		Device: "p100", Workload: w, Config: "bs=8/g=1/r=2", Seed: 3,
+		Nocache: true,
+		Retries: MaxRequestRetries,
+		Faults:  &FaultRequest{Seed: 2, Transient: 0.9},
+	})
+	if faulty.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(faulty.Body)
+		t.Fatalf("faulty measure status %d: %s", faulty.StatusCode, body)
+	}
+	var got MeasureResponse
+	if err := json.NewDecoder(faulty.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Attempts <= 1 {
+		t.Errorf("faulty measure consumed %d attempts — schedule injected nothing", got.Attempts)
+	}
+	if math.Float64bits(got.MeasuredEnergyJ) != math.Float64bits(cleanResp.MeasuredEnergyJ) ||
+		math.Float64bits(got.Seconds) != math.Float64bits(cleanResp.Seconds) {
+		t.Errorf("recovered measure differs from fault-free: got (%v s, %v J), want (%v s, %v J)",
+			got.Seconds, got.MeasuredEnergyJ, cleanResp.Seconds, cleanResp.MeasuredEnergyJ)
+	}
+}
+
+// TestMeasureAllAttemptsFailed: a certain transient exhausts the budget;
+// the reply is 502 and reports the attempts burned.
+func TestMeasureAllAttemptsFailed(t *testing.T) {
+	ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/measure", MeasureRequest{
+		Device: "p100", Workload: device.Workload{N: 1024, Products: 2}, Config: "bs=8/g=1/r=2", Seed: 3,
+		Retries: 2,
+		Faults:  &FaultRequest{Seed: 1, Transient: 1},
+	})
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Points-Failed"); got != "1" {
+		t.Errorf("X-Points-Failed = %q, want 1", got)
+	}
+	var body struct {
+		Error    string `json:"error"`
+		Attempts int    `json:"attempts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (1 try + 2 retries)", body.Attempts)
+	}
+	if !strings.Contains(body.Error, "transient") {
+		t.Errorf("error %q does not name the injected fault", body.Error)
+	}
+}
+
+// TestRequestDeadlineMapsTo504: an unmeetable timeout_ms yields 504
+// Gateway Timeout — never a 500 (satellite: error-mapping audit). An
+// injected latency far past the deadline makes the expiry deterministic
+// (the simulators alone can finish inside 1 ms of wall clock).
+func TestRequestDeadlineMapsTo504(t *testing.T) {
+	ts := newTestServer(t)
+	slow := &FaultRequest{Seed: 1, LatencyMS: float64(MaxRequestTimeoutMS)}
+	for _, tc := range []struct {
+		path string
+		body map[string]any
+	}{
+		{"/measure", map[string]any{
+			"device": "p100", "workload": device.Workload{N: 1024, Products: 2},
+			"config": "bs=8/g=1/r=2", "timeout_ms": 1, "faults": slow,
+		}},
+		{"/sweep", map[string]any{
+			"device": "haswell", "workload": cpuWorkload(),
+			"timeout_ms": 1, "faults": slow,
+		}},
+	} {
+		t.Run(tc.path, func(t *testing.T) {
+			resp := postJSON(t, ts.URL+tc.path, tc.body)
+			if resp.StatusCode != http.StatusGatewayTimeout {
+				body, _ := io.ReadAll(resp.Body)
+				t.Fatalf("status %d, want 504: %s", resp.StatusCode, body)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			if !strings.Contains(string(body), "deadline") {
+				t.Errorf("504 body %q does not mention the deadline", body)
+			}
+		})
+	}
+}
+
+// TestClientGoneMapsTo499 audits the client-disconnect path on both
+// endpoints: context.Canceled must never surface as 500.
+func TestClientGoneMapsTo499(t *testing.T) {
+	for _, tc := range []struct {
+		path, body string
+	}{
+		{"/measure", `{"device":"p100","workload":{"N":10240,"Products":8},"config":"bs=8/g=2/r=4","seed":1}`},
+		{"/sweep", `{"device":"p100","workload":{"N":10240,"Products":8},"seed":1}`},
+	} {
+		t.Run(tc.path, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			req := httptest.NewRequest(http.MethodPost, tc.path, strings.NewReader(tc.body)).WithContext(ctx)
+			rr := httptest.NewRecorder()
+			New().Handler().ServeHTTP(rr, req)
+			if rr.Code != StatusClientClosedRequest {
+				t.Errorf("cancelled request answered %d, want %d: %s", rr.Code, StatusClientClosedRequest, rr.Body.String())
+			}
+		})
+	}
+}
+
+// TestChaosKnobsRejected: out-of-range knobs are client errors (400),
+// not silent clamps or server faults.
+func TestChaosKnobsRejected(t *testing.T) {
+	ts := newTestServer(t)
+	for _, tc := range []struct {
+		name string
+		body map[string]any
+	}{
+		{"negative-retries", map[string]any{"retries": -1}},
+		{"huge-retries", map[string]any{"retries": MaxRequestRetries + 1}},
+		{"negative-timeout", map[string]any{"timeout_ms": -4}},
+		{"huge-timeout", map[string]any{"timeout_ms": MaxRequestTimeoutMS + 1}},
+		{"bad-fault-prob", map[string]any{"faults": map[string]any{"transient": 1.5}}},
+		{"fault-sum", map[string]any{"faults": map[string]any{"transient": 0.7, "drop": 0.7}}},
+		{"negative-latency", map[string]any{"faults": map[string]any{"latency_ms": -2.0}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			body := map[string]any{
+				"device":   "haswell",
+				"workload": cpuWorkload(),
+			}
+			for k, v := range tc.body {
+				body[k] = v
+			}
+			resp := postJSON(t, ts.URL+"/sweep", body)
+			if resp.StatusCode != http.StatusBadRequest {
+				payload, _ := io.ReadAll(resp.Body)
+				t.Errorf("status %d, want 400: %s", resp.StatusCode, payload)
+			}
+		})
+	}
+}

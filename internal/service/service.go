@@ -34,6 +34,18 @@
 // pair with the cache totals after the request. Clients that need a
 // fresh computation (e.g. cache-bypass benchmarking) set "nocache":
 // true in the request body.
+//
+// Both measurement endpoints degrade gracefully under failure. A
+// request may set "timeout_ms" (the campaign is cancelled and answered
+// 504 past the deadline), "retries" (a per-point budget of extra
+// measurement attempts; a retried point is byte-identical to one that
+// succeeded first try), and "faults" (a deterministic fault-injection
+// schedule for chaos testing, mirroring `gpusweep -faults`). A sweep
+// whose points partially fail answers 206 Partial Content with the
+// failures in the record's "failed" section and their count in the
+// X-Points-Failed header; a sweep with no survivors answers 502. A
+// client disconnect is recorded as 499 (client closed request), never
+// as a 500.
 package service
 
 import (
@@ -41,11 +53,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
+	"time"
 
 	"energyprop/internal/campaign"
 	"energyprop/internal/device"
+	"energyprop/internal/fault"
 	"energyprop/internal/memo"
 )
 
@@ -65,7 +80,19 @@ const (
 	// eviction beyond it). The paper's largest sweep has 110
 	// configurations, so this holds dozens of distinct campaigns.
 	CacheCapacity = 8192
+	// MaxRequestRetries is the largest accepted per-point retry budget
+	// (extra attempts beyond the first).
+	MaxRequestRetries = 8
+	// MaxRequestTimeoutMS caps the client-requested deadline; longer
+	// requests should be split, not parked on a handler goroutine.
+	MaxRequestTimeoutMS = 10 * 60 * 1000
 )
+
+// StatusClientClosedRequest is the nginx-convention 499 recorded when
+// the client disconnected mid-campaign: the response never reaches the
+// client, but middleware and tests must not observe a 500 for what was
+// a client-side abort.
+const StatusClientClosedRequest = 499
 
 // checkWorkloadLimits rejects workloads that validate structurally but
 // exceed the service's resource envelope.
@@ -194,6 +221,73 @@ func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// FaultRequest enables deterministic fault injection for one request —
+// the service-side analog of `gpusweep -faults`, used for chaos testing
+// the pipeline end to end. Fields mirror fault.Plan: per-attempt
+// probabilities of a transient run failure, a meter-sample dropout, and
+// an outlier reading, plus a latency bound in milliseconds. The
+// schedule derives entirely from the seed, so a replayed request
+// injects identical faults.
+type FaultRequest struct {
+	Seed      int64   `json:"seed"`
+	Transient float64 `json:"transient,omitempty"`
+	Drop      float64 `json:"drop,omitempty"`
+	Outlier   float64 `json:"outlier,omitempty"`
+	LatencyMS float64 `json:"latency_ms,omitempty"`
+}
+
+// plan converts the request body to the injector's schedule.
+func (f *FaultRequest) plan() fault.Plan {
+	return fault.Plan{
+		Seed:      f.Seed,
+		Transient: f.Transient,
+		Drop:      f.Drop,
+		Outlier:   f.Outlier,
+		Latency:   time.Duration(f.LatencyMS * float64(time.Millisecond)),
+	}
+}
+
+// requestContext applies the client's requested deadline to the request
+// context. timeout_ms == 0 means no extra deadline; out-of-range values
+// are client errors.
+func requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc, error) {
+	if timeoutMS < 0 || timeoutMS > MaxRequestTimeoutMS {
+		return nil, nil, fmt.Errorf("timeout_ms=%d out of range 0..%d", timeoutMS, MaxRequestTimeoutMS)
+	}
+	if timeoutMS == 0 {
+		return r.Context(), func() {}, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), time.Duration(timeoutMS)*time.Millisecond)
+	return ctx, cancel, nil
+}
+
+// retryPolicy validates a request's retry budget. Service retries are
+// immediate (no backoff sleep): the request deadline bounds total time,
+// and parking a handler goroutine in sleeps would only burn it.
+func retryPolicy(retries int) (fault.RetryPolicy, error) {
+	if retries < 0 || retries > MaxRequestRetries {
+		return fault.RetryPolicy{}, fmt.Errorf("retries=%d out of range 0..%d", retries, MaxRequestRetries)
+	}
+	return fault.RetryPolicy{MaxAttempts: retries + 1}, nil
+}
+
+// wrapFaults applies a request's fault schedule to the opened device.
+// A fault-wrapped device may share the point cache with its registry
+// twin: injected faults fail loudly and never shift measured floats, so
+// any value that reaches the cache is the clean one.
+func wrapFaults(dev device.Device, req *FaultRequest) (device.Device, error) {
+	if req == nil {
+		return dev, nil
+	}
+	// Bound the injected latency by the maximum request deadline: an
+	// uncapped latency_ms would let one request park a handler (and its
+	// device runs) for arbitrary wall-clock time.
+	if math.IsNaN(req.LatencyMS) || req.LatencyMS < 0 || req.LatencyMS > MaxRequestTimeoutMS {
+		return nil, fmt.Errorf("faults.latency_ms %v out of [0, %d]", req.LatencyMS, MaxRequestTimeoutMS)
+	}
+	return fault.Wrap(dev, req.plan())
+}
+
 // MeasureRequest is the /measure body. Config is the configuration's
 // canonical key as enumerated by the device — "bs=24/g=1/r=8" on a GPU,
 // "contiguous/p=2/t=12" on a CPU, "haswell=2/k40c=3/p100=3" on the
@@ -207,6 +301,14 @@ type MeasureRequest struct {
 	// request: the point is recomputed (bit-identical by construction)
 	// and the result is not stored.
 	Nocache bool `json:"nocache,omitempty"`
+	// TimeoutMS bounds the request's wall-clock time; past it the
+	// campaign is cancelled and the reply is 504. 0 means no deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Retries is the per-point retry budget: extra measurement attempts
+	// after a failure (capped at MaxRequestRetries).
+	Retries int `json:"retries,omitempty"`
+	// Faults, when present, injects a deterministic fault schedule.
+	Faults *FaultRequest `json:"faults,omitempty"`
 }
 
 // MeasureResponse is the /measure reply.
@@ -218,6 +320,9 @@ type MeasureResponse struct {
 	MeasuredEnergyJ float64 `json:"measured_energy_j"`
 	HalfWidthJ      float64 `json:"ci_halfwidth_j"`
 	Runs            int     `json:"runs"`
+	// Attempts is the number of measurement attempts consumed
+	// (1 = first try; >1 means the retry budget recovered the point).
+	Attempts int `json:"attempts"`
 }
 
 // resolveRequest validates the shared (device, workload) part of a
@@ -270,21 +375,46 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 			req.Config, req.Device, len(configs), configs[0].Key()))
 		return
 	}
-	// One-point campaign: /measure flows through the same RunConfigs
-	// path as full sweeps, so seeding, statistics, and caching are
-	// identical — a /measure of a point a /sweep already computed is a
-	// cache hit, and N concurrent identical /measure requests collapse
-	// to one device run.
-	res, err := campaign.RunConfigs(r.Context(), dev, wl, []device.Config{chosen}, s.campaignSpec(req.Seed, req.Nocache))
+	ctx, cancel, err := requestContext(r, req.TimeoutMS)
 	if err != nil {
-		if requestGone(err) {
-			return
-		}
-		httpError(w, http.StatusInternalServerError, err.Error())
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	defer cancel()
+	spec := s.campaignSpec(req.Seed, req.Nocache)
+	spec.Retry, err = retryPolicy(req.Retries)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	spec.ContinueOnError = true
+	rdev, err := wrapFaults(dev, req.Faults)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// One-point campaign: /measure flows through the same RunConfigs
+	// path as full sweeps, so seeding, statistics, retries, and caching
+	// are identical — a /measure of a point a /sweep already computed is
+	// a cache hit, and N concurrent identical /measure requests collapse
+	// to one device run.
+	res, err := campaign.RunConfigs(ctx, rdev, wl, []device.Config{chosen}, spec)
+	if err != nil {
+		writeCampaignError(w, err)
+		return
+	}
+	s.setCacheHeaders(w)
+	if len(res.Points) == 0 {
+		f := res.Failed[0]
+		w.Header().Set("X-Points-Failed", "1")
+		writeJSON(w, http.StatusBadGateway, map[string]any{
+			"error":    f.Err.Error(),
+			"config":   f.Config.Key(),
+			"attempts": f.Attempts,
+		})
 		return
 	}
 	p := res.Points[0]
-	s.setCacheHeaders(w)
 	writeJSON(w, http.StatusOK, MeasureResponse{
 		Device:          res.Device,
 		Config:          p.Config.String(),
@@ -293,6 +423,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		MeasuredEnergyJ: p.MeasuredEnergyJ,
 		HalfWidthJ:      p.HalfWidthJ,
 		Runs:            p.Runs,
+		Attempts:        p.Attempts,
 	})
 }
 
@@ -307,6 +438,16 @@ type SweepRequest struct {
 	// Nocache bypasses the per-process measured-point cache for this
 	// sweep; see MeasureRequest.Nocache.
 	Nocache bool `json:"nocache,omitempty"`
+	// TimeoutMS bounds the sweep's wall-clock time (504 past it);
+	// 0 means no deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Retries is the per-point retry budget. With any budget the sweep
+	// degrades gracefully: points that stay failed are returned in the
+	// record's "failed" section (206 Partial Content, X-Points-Failed
+	// header) and Pareto analysis runs over the survivors.
+	Retries int `json:"retries,omitempty"`
+	// Faults, when present, injects a deterministic fault schedule.
+	Faults *FaultRequest `json:"faults,omitempty"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -329,15 +470,39 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	ctx, cancel, err := requestContext(r, req.TimeoutMS)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	defer cancel()
 	spec := s.campaignSpec(req.Seed, req.Nocache)
 	spec.Workers = req.Workers
-	res, err := campaign.RunConfigs(r.Context(), dev, wl, configs, spec)
+	spec.Retry, err = retryPolicy(req.Retries)
 	if err != nil {
-		if requestGone(err) {
-			// The client is gone (or timed out); nothing useful to write.
-			return
-		}
-		httpError(w, http.StatusInternalServerError, err.Error())
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	spec.ContinueOnError = true
+	rdev, err := wrapFaults(dev, req.Faults)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := campaign.RunConfigs(ctx, rdev, wl, configs, spec)
+	if err != nil {
+		writeCampaignError(w, err)
+		return
+	}
+	s.setCacheHeaders(w)
+	if n := len(res.Failed); n > 0 {
+		w.Header().Set("X-Points-Failed", strconv.Itoa(n))
+	}
+	if len(res.Points) == 0 {
+		writeJSON(w, http.StatusBadGateway, map[string]any{
+			"error":       fmt.Sprintf("all %d points failed", len(res.Failed)),
+			"first_error": res.Failed[0].Err.Error(),
+		})
 		return
 	}
 	rec, err := res.Record()
@@ -345,14 +510,29 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	s.setCacheHeaders(w)
-	writeJSON(w, http.StatusOK, rec)
+	// Partial survival is a partial answer: 206 plus the failed section
+	// lets a client keep the survivors and re-request only the holes.
+	status := http.StatusOK
+	if len(res.Failed) > 0 {
+		status = http.StatusPartialContent
+	}
+	writeJSON(w, status, rec)
 }
 
-// requestGone reports whether a campaign error is the request context
-// being cancelled rather than a measurement failure.
-func requestGone(err error) bool {
-	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+// writeCampaignError maps a campaign failure to its transport status.
+// The audit contract: context errors are never 500s — a deadline expiry
+// is 504 Gateway Timeout, and a client disconnect is recorded as 499
+// (the nginx client-closed-request convention; the body is best-effort
+// since the client is gone, but logs and middleware see the truth).
+func writeCampaignError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, "campaign exceeded its deadline: "+err.Error())
+	case errors.Is(err, context.Canceled):
+		httpError(w, StatusClientClosedRequest, "client closed request")
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
 }
 
 func decodeJSON(r *http.Request, dst any) error {

@@ -28,6 +28,25 @@ type MeasuredPoint struct {
 	DynPowerW float64 `json:"dyn_power_w"`
 	// DynEnergyJ is the measured (converged sample mean) dynamic energy.
 	DynEnergyJ float64 `json:"dyn_energy_j"`
+	// Attempts is how many measurement attempts the point consumed
+	// (1 = first try; >1 means retries recovered it). Zero in records
+	// predating attempt accounting.
+	Attempts int `json:"attempts,omitempty"`
+}
+
+// FailedPoint is one configuration a degrading campaign could not
+// measure within its retry budget: the error is recorded instead of
+// aborting the sweep, and analysis (Pareto fronts, trade-offs) runs
+// over the surviving Results.
+type FailedPoint struct {
+	// Config is the configuration's canonical key.
+	Config string `json:"config"`
+	// Label is the human-readable rendering.
+	Label string `json:"label,omitempty"`
+	// Attempts is how many attempts were burned before giving up.
+	Attempts int `json:"attempts,omitempty"`
+	// Error is the final attempt's error text.
+	Error string `json:"error"`
 }
 
 // CampaignRecord is one measured campaign on any registered device — the
@@ -41,6 +60,10 @@ type CampaignRecord struct {
 	Kind     string          `json:"kind"`
 	Workload device.Workload `json:"workload"`
 	Results  []MeasuredPoint `json:"results"`
+	// Failed lists the points the campaign gave up on (fault injection,
+	// transient device failures); empty for fully successful campaigns
+	// and absent from records predating graceful degradation.
+	Failed []FailedPoint `json:"failed,omitempty"`
 }
 
 // Points converts the record's results to pareto points.
@@ -70,10 +93,10 @@ func (c *CampaignRecord) Validate() error {
 	if err := c.Workload.Validate(); err != nil {
 		return fmt.Errorf("store: bad workload: %w", err)
 	}
-	if len(c.Results) == 0 {
+	if len(c.Results) == 0 && len(c.Failed) == 0 {
 		return errors.New("store: no results")
 	}
-	seen := make(map[string]bool, len(c.Results))
+	seen := make(map[string]bool, len(c.Results)+len(c.Failed))
 	for i, r := range c.Results {
 		if r.Config == "" {
 			return fmt.Errorf("store: result %d has empty config key", i)
@@ -84,6 +107,24 @@ func (c *CampaignRecord) Validate() error {
 		seen[r.Config] = true
 		if r.Seconds <= 0 || r.DynEnergyJ <= 0 {
 			return fmt.Errorf("store: result %d (%s) has non-positive measurements", i, r.Config)
+		}
+		if r.Attempts < 0 {
+			return fmt.Errorf("store: result %d (%s) has negative attempts", i, r.Config)
+		}
+	}
+	for i, f := range c.Failed {
+		if f.Config == "" {
+			return fmt.Errorf("store: failed point %d has empty config key", i)
+		}
+		if seen[f.Config] {
+			return fmt.Errorf("store: duplicate config %q", f.Config)
+		}
+		seen[f.Config] = true
+		if f.Error == "" {
+			return fmt.Errorf("store: failed point %d (%s) has empty error", i, f.Config)
+		}
+		if f.Attempts < 0 {
+			return fmt.Errorf("store: failed point %d (%s) has negative attempts", i, f.Config)
 		}
 	}
 	return nil
