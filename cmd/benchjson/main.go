@@ -33,7 +33,10 @@ type Result struct {
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
-// run is main's testable body; it returns the process exit code.
+// run is main's testable body; it returns the process exit code. The
+// baseline is only useful complete: zero parsed entries (a typo'd bench
+// pipeline would otherwise commit "{}" as a baseline) and a failed
+// stdout write (closed pipe, full disk) both exit non-zero.
 func run(stdin io.Reader, stdout, stderr io.Writer) int {
 	results, err := parse(stdin)
 	if err != nil {
@@ -44,10 +47,15 @@ func run(stdin io.Reader, stdout, stderr io.Writer) int {
 		cli.Errorf(stderr, "benchjson: no benchmark lines on stdin\n")
 		return 1
 	}
-	enc := json.NewEncoder(stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
 		cli.Errorf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	out := cli.NewWriter(stdout)
+	out.Printf("%s\n", data)
+	if err := out.Err(); err != nil {
+		cli.Errorf(stderr, "benchjson: writing baseline: %v\n", err)
 		return 1
 	}
 	return 0

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -80,5 +81,22 @@ func TestEmptyInputFails(t *testing.T) {
 	}
 	if !strings.Contains(errOut, "no benchmark lines") {
 		t.Errorf("stderr %q", errOut)
+	}
+}
+
+// failWriter fails every write, simulating a closed pipe under the
+// baseline redirect.
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("broken pipe") }
+
+func TestStdoutWriteFailureExitsNonZero(t *testing.T) {
+	var errBuf bytes.Buffer
+	code := run(strings.NewReader(sample), failWriter{}, &errBuf)
+	if code != 1 {
+		t.Errorf("exit %d, want 1 when the baseline write fails", code)
+	}
+	if !strings.Contains(errBuf.String(), "writing baseline") {
+		t.Errorf("stderr %q", errBuf.String())
 	}
 }

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestDeviceCampaignGolden locks the -device table output byte-for-byte
+// against committed goldens, clean and under a deterministic fault
+// schedule: the table is a pure function of (device, workload, seed,
+// fault plan), so any byte drift is either a deliberate format change
+// (regenerate with -update) or a determinism regression.
+func TestDeviceCampaignGolden(t *testing.T) {
+	for _, tc := range []struct {
+		golden string
+		args   []string
+	}{
+		{"device_haswell_n48.golden.txt",
+			[]string{"-device", "haswell", "-n", "48", "-products", "1"}},
+		{"device_haswell_n48_csv.golden.csv",
+			[]string{"-device", "haswell", "-n", "48", "-products", "1", "-csv"}},
+		{"device_p100_n1024_faults.golden.txt",
+			[]string{"-device", "p100", "-n", "1024", "-products", "2",
+				"-faults", "seed=7,transient=0.6", "-retries", "4"}},
+	} {
+		t.Run(tc.golden, func(t *testing.T) {
+			out, stderr, code := runCLI(t, tc.args...)
+			if code != 0 {
+				t.Fatalf("exit %d: %s", code, stderr)
+			}
+			path := filepath.Join("testdata", tc.golden)
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out != string(want) {
+				t.Errorf("output differs from %s (regenerate with -update if intended)\ngot:\n%s\nwant:\n%s",
+					path, out, want)
+			}
+		})
+	}
+}
+
+// TestDeviceCampaignFleetMatchesLocal is epstudy's face of the fleet
+// invariant: the measured table rows of a chaos-ridden fleet campaign
+// equal the local campaign's, with the control plane confined to notes.
+func TestDeviceCampaignFleetMatchesLocal(t *testing.T) {
+	args := []string{"-device", "p100", "-n", "1024", "-products", "2"}
+	local, _, code := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("local campaign exit %d", code)
+	}
+	fleetOut, _, code := runCLI(t, append(args,
+		"-executor", "fleet", "-nodes", "3", "-shardsize", "2",
+		"-nodefaults", "seed=9,preempt=0.3,flaky=0.2,slow=0.3")...)
+	if code != 0 {
+		t.Fatalf("fleet campaign exit %d", code)
+	}
+	rows := func(out string) []string {
+		var keep []string
+		for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+			if strings.HasPrefix(line, "note:") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return keep
+	}
+	lRows, fRows := rows(local), rows(fleetOut)
+	if len(lRows) != len(fRows) {
+		t.Fatalf("row counts differ: local %d, fleet %d", len(lRows), len(fRows))
+	}
+	for i := range lRows {
+		if lRows[i] != fRows[i] {
+			t.Errorf("row %d differs:\nlocal: %s\nfleet: %s", i, lRows[i], fRows[i])
+		}
+	}
+	if !strings.Contains(fleetOut, "note: fleet: nodes=3") {
+		t.Error("fleet campaign emitted no fleet note")
+	}
+	if !strings.Contains(fleetOut, "fleet events:") {
+		t.Error("fleet campaign emitted no event-digest note")
+	}
+}

@@ -27,6 +27,15 @@
 // column, and the table covers the survivors:
 //
 //	epstudy -device haswell -n 96 -faults seed=3,transient=0.3 -retries 2
+//
+// -executor fleet shards the -device campaign across simulated worker
+// nodes (internal/fleet) — sized with -nodes and -shardsize, optionally
+// chaos-ridden via -nodefaults — and appends the control-plane activity
+// (preemptions, cordons, remediations, event digest) as table notes.
+// The measured rows are byte-identical to a local run; that is the
+// fleet's headline invariant:
+//
+//	epstudy -device p100 -executor fleet -nodes 4 -nodefaults seed=9,preempt=0.3,flaky=0.2
 package main
 
 import (
@@ -42,6 +51,7 @@ import (
 	"energyprop/internal/device"
 	"energyprop/internal/experiment"
 	"energyprop/internal/fault"
+	"energyprop/internal/fleet"
 )
 
 func main() {
@@ -68,6 +78,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	reps := fs.Int("reps", 1, "repeat the -device campaign; repeats hit the in-process measurement cache")
 	faultsFlag := fs.String("faults", "", "inject deterministic faults into the -device campaign, e.g. seed=3,transient=0.2,drop=0.1")
 	retries := fs.Int("retries", 0, "extra attempts per point after a failed measurement in the -device campaign")
+	executor := fs.String("executor", "local", `fan-out strategy for the -device campaign: "local" or "fleet"`)
+	nodesFlag := fs.Int("nodes", 0, "simulated fleet size for -executor fleet (0 = 3)")
+	shardSize := fs.Int("shardsize", 0, "configurations per fleet shard (0 = one shard per node)")
+	nodeFaults := fs.String("nodefaults", "", "node-failure schedule for -executor fleet, e.g. seed=9,preempt=0.2,flaky=0.1,slow=0.1")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -82,6 +96,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	plan, err := fault.ParsePlan(*faultsFlag)
 	if err != nil {
 		cli.Errorf(stderr, "epstudy: -faults: %v\n", err)
+		return 2
+	}
+	fc, err := resolveFleetFlags(*executor, *nodesFlag, *shardSize, *nodeFaults)
+	if err != nil {
+		cli.Errorf(stderr, "epstudy: %v\n", err)
 		return 2
 	}
 	out := cli.NewWriter(stdout)
@@ -101,7 +120,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *devName != "" {
-		t, err := runDeviceCampaign(*devName, *app, *n, *products, *reps, *retries, plan, opt)
+		t, err := runDeviceCampaign(*devName, *app, *n, *products, *reps, *retries, plan, fc, opt)
 		if err != nil {
 			cli.Errorf(stderr, "epstudy: %v\n", err)
 			return 1
@@ -205,13 +224,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 // and turns on graceful degradation: surviving points gain an attempts
 // column, exhausted points become table notes, and the measured values
 // of every survivor stay byte-identical to the fault-free campaign.
-func runDeviceCampaign(name, app string, n, products, reps, retries int, plan fault.Plan, opt experiment.Options) (*experiment.Table, error) {
+func runDeviceCampaign(name, app string, n, products, reps, retries int, plan fault.Plan, fc fleetConfig, opt experiment.Options) (*experiment.Table, error) {
 	dev, err := device.Open(name)
 	if err != nil {
 		return nil, err
 	}
 	var injector *fault.Device
-	if plan.Enabled() {
+	if plan.Enabled() && !fc.enabled {
+		// In fleet mode the injector moves into the nodes: each one wraps
+		// its own device instance with a per-node derived schedule.
 		if injector, err = fault.Wrap(dev, plan); err != nil {
 			return nil, err
 		}
@@ -229,6 +250,19 @@ func runDeviceCampaign(name, app string, n, products, reps, retries int, plan fa
 	if chaos {
 		spec.Retry = fault.RetryPolicy{MaxAttempts: retries + 1}
 		spec.ContinueOnError = true
+	}
+	var coord *fleet.Coordinator
+	if fc.enabled {
+		coord, err = fleet.ForDevice(name, plan, fleet.Options{
+			Nodes:       fc.nodes,
+			ShardSize:   fc.shardSize,
+			Parallelism: opt.Workers,
+			Chaos:       fc.chaos,
+		})
+		if err != nil {
+			return nil, err
+		}
+		spec.Executor = fleet.Executor{Coord: coord}
 	}
 	var res *campaign.Result
 	for r := 0; r < reps; r++ {
@@ -275,7 +309,45 @@ func runDeviceCampaign(name, app string, n, products, reps, retries int, plan fa
 		t.AddNote("faults: runs=%d transients=%d drops=%d outliers=%d delays=%d",
 			s.Runs, s.Transients, s.Drops, s.Outliers, s.Delays)
 	}
+	if coord != nil {
+		s := coord.Stats()
+		t.AddNote("fleet: nodes=%d shards=%d dispatches=%d preemptions=%d cordons=%d remediations=%d",
+			coord.Options().Nodes, s.Shards, s.Dispatches, s.Preemptions, s.Cordons, s.Remediations)
+		t.AddNote("fleet events: %d entries, digest %s", len(coord.Events()), fleet.DigestEvents(coord.Events()))
+	}
 	return t, nil
+}
+
+// fleetConfig is the resolved -executor flag group.
+type fleetConfig struct {
+	enabled   bool
+	nodes     int
+	shardSize int
+	chaos     fleet.Chaos
+}
+
+// resolveFleetFlags validates the -executor flag group. The fleet
+// sizing and chaos flags are rejected under -executor local so a typo'd
+// chaos run cannot silently fall back to a calm local pool.
+func resolveFleetFlags(executor string, nodes, shardSize int, nodeFaults string) (fleetConfig, error) {
+	switch executor {
+	case "local", "":
+		if nodes != 0 || shardSize != 0 || nodeFaults != "" {
+			return fleetConfig{}, fmt.Errorf(`-nodes, -shardsize, and -nodefaults require -executor fleet`)
+		}
+		return fleetConfig{}, nil
+	case "fleet":
+	default:
+		return fleetConfig{}, fmt.Errorf(`-executor %q: want "local" or "fleet"`, executor)
+	}
+	chaos, err := fleet.ParseChaos(nodeFaults)
+	if err != nil {
+		return fleetConfig{}, fmt.Errorf("-nodefaults: %w", err)
+	}
+	if nodes == 0 {
+		nodes = 3
+	}
+	return fleetConfig{enabled: true, nodes: nodes, shardSize: shardSize, chaos: chaos}, nil
 }
 
 // writeSVGs renders the figure images into dir.

@@ -26,19 +26,31 @@
 // and the exit code is 1 only when nothing survived:
 //
 //	gpusweep -device p100 -faults seed=7,transient=0.3 -retries 3
+//
+// With -executor fleet the sweep is sharded across simulated worker
+// nodes (internal/fleet), each hosting its own device instance, with
+// health checks, cordoning, and remediation; -nodes and -shardsize size
+// the fleet and -nodefaults injects a deterministic node-failure
+// schedule. The CSV data rows are byte-identical to a local sweep; the
+// control-plane activity is appended as a "# fleet:" comment:
+//
+//	gpusweep -device p100 -executor fleet -nodes 4 -nodefaults seed=9,preempt=0.3,flaky=0.2
 package main
 
 import (
 	"context"
 	"flag"
+	"fmt"
 	"io"
 	"os"
 	"os/signal"
 	"strconv"
+	"sync"
 
 	"energyprop/internal/cli"
 	"energyprop/internal/device"
 	"energyprop/internal/fault"
+	"energyprop/internal/fleet"
 	"energyprop/internal/memo"
 	"energyprop/internal/parallel"
 	"energyprop/internal/pareto"
@@ -68,6 +80,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	cachestats := fs.Bool("cachestats", false, "append outcome-cache counters as CSV comments")
 	faultsFlag := fs.String("faults", "", "inject deterministic faults, e.g. seed=7,transient=0.2,drop=0.1,outlier=0.05,latency=2ms")
 	retries := fs.Int("retries", 0, "extra attempts per configuration after a failed run")
+	executor := fs.String("executor", "local", `fan-out strategy: "local" or "fleet"`)
+	nodesFlag := fs.Int("nodes", 0, "simulated fleet size for -executor fleet (0 = 3)")
+	shardSize := fs.Int("shardsize", 0, "configurations per fleet shard (0 = one shard per node)")
+	nodeFaults := fs.String("nodefaults", "", "node-failure schedule for -executor fleet, e.g. seed=9,preempt=0.2,flaky=0.1,slow=0.1")
 	list := fs.Bool("list", false, "list the registered devices and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -83,6 +99,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	plan, err := fault.ParsePlan(*faultsFlag)
 	if err != nil {
 		cli.Errorf(stderr, "gpusweep: -faults: %v\n", err)
+		return 2
+	}
+	fc, err := resolveFleetFlags(*executor, *nodesFlag, *shardSize, *nodeFaults)
+	if err != nil {
+		cli.Errorf(stderr, "gpusweep: %v\n", err)
 		return 2
 	}
 
@@ -126,7 +147,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// run re-executes and, when it succeeds, is byte-identical to the
 	// fault-free sweep.
 	var injector *fault.Device
-	if plan.Enabled() {
+	if plan.Enabled() && !fc.enabled {
+		// In fleet mode the injector moves into the nodes (each wraps its
+		// own instance with a per-node derived schedule), so the reference
+		// device stays clean here.
 		injector, err = fault.Wrap(dev, plan)
 		if err != nil {
 			cli.Errorf(stderr, "gpusweep: -faults: %v\n", err)
@@ -147,23 +171,71 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// distinct point; the runs are deterministic, so a cached outcome is
 	// identical to a fresh one.
 	cache := memo.New[*device.Outcome](0)
-	sweep := func() ([]sweepPoint, error) {
-		return parallel.Map(ctx, *workers, len(configs), func(ctx context.Context, i int) (sweepPoint, error) {
-			var o *device.Outcome
-			attempts, err := policy.Do(ctx, device.ConfigSeed(plan.Seed, configs[i]), func(int) error {
-				var aerr error
-				o, _, aerr = cache.Do(outcomeKey(dev, workload, configs[i]), func() (*device.Outcome, error) {
-					return dev.Run(ctx, workload, configs[i])
-				})
-				return aerr
+	measure := func(ctx context.Context, dev device.Device, i int) (sweepPoint, error) {
+		var o *device.Outcome
+		attempts, err := policy.Do(ctx, device.ConfigSeed(plan.Seed, configs[i]), func(int) error {
+			var aerr error
+			o, _, aerr = cache.Do(outcomeKey(dev, workload, configs[i]), func() (*device.Outcome, error) {
+				return dev.Run(ctx, workload, configs[i])
 			})
-			if err != nil {
-				if fault.IsContextErr(err) {
-					return sweepPoint{}, err
-				}
-				return sweepPoint{attempts: attempts, err: err}, nil
+			return aerr
+		})
+		if err != nil {
+			if fault.IsContextErr(err) {
+				return sweepPoint{}, err
 			}
-			return sweepPoint{outcome: o, attempts: attempts}, nil
+			return sweepPoint{attempts: attempts, err: err}, nil
+		}
+		return sweepPoint{outcome: o, attempts: attempts}, nil
+	}
+	// nodeInjectors collects the per-node fault injectors a fleet sweep
+	// creates, so the "# faults:" comment can aggregate their counters.
+	var nodeInjectors struct {
+		sync.Mutex
+		devs []*fault.Device
+	}
+	var coord *fleet.Coordinator
+	if fc.enabled {
+		name := *devName
+		factory := func(node string) (device.Device, error) {
+			d, err := device.Open(name)
+			if err != nil {
+				return nil, err
+			}
+			// Mirror the reference device's analytic conversion so node
+			// outcomes (and cache keys) match the local sweep exactly.
+			if ap, ok := d.(device.AnalyticProvider); ok {
+				d = ap.Analytic()
+			}
+			if !plan.Enabled() {
+				return d, nil
+			}
+			inj, err := fault.Wrap(d, fleet.NodePlan(plan, node))
+			if err != nil {
+				return nil, err
+			}
+			nodeInjectors.Lock()
+			nodeInjectors.devs = append(nodeInjectors.devs, inj)
+			nodeInjectors.Unlock()
+			return inj, nil
+		}
+		coord, err = fleet.New(fleet.Options{
+			Nodes:       fc.nodes,
+			ShardSize:   fc.shardSize,
+			Parallelism: *workers,
+			Chaos:       fc.chaos,
+		}, factory)
+		if err != nil {
+			cli.Errorf(stderr, "gpusweep: %v\n", err)
+			return 2
+		}
+	}
+	sweep := func() ([]sweepPoint, error) {
+		if coord != nil {
+			return fleet.Map(ctx, coord, len(configs), measure)
+		}
+		return parallel.Map(ctx, *workers, len(configs), func(ctx context.Context, i int) (sweepPoint, error) {
+			return measure(ctx, dev, i)
 		})
 	}
 	var points []sweepPoint
@@ -208,6 +280,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		s := injector.Stats()
 		out.Printf("# faults: runs=%d transients=%d drops=%d outliers=%d delays=%d survivors=%d failed=%d\n",
 			s.Runs, s.Transients, s.Drops, s.Outliers, s.Delays, survivors, failed)
+	} else if nodeInjectors.devs != nil {
+		var s fault.Stats
+		for _, inj := range nodeInjectors.devs {
+			is := inj.Stats()
+			s.Runs += is.Runs
+			s.Transients += is.Transients
+			s.Drops += is.Drops
+			s.Outliers += is.Outliers
+			s.Delays += is.Delays
+		}
+		out.Printf("# faults: runs=%d transients=%d drops=%d outliers=%d delays=%d survivors=%d failed=%d (aggregated over %d node injectors)\n",
+			s.Runs, s.Transients, s.Drops, s.Outliers, s.Delays, survivors, failed, len(nodeInjectors.devs))
+	}
+	if coord != nil {
+		s := coord.Stats()
+		out.Printf("# fleet: nodes=%d shards=%d dispatches=%d preemptions=%d cordons=%d remediations=%d digest=%s\n",
+			coord.Options().Nodes, s.Shards, s.Dispatches, s.Preemptions, s.Cordons, s.Remediations,
+			fleet.DigestEvents(coord.Events()))
 	}
 
 	if *cachestats {
@@ -244,6 +334,38 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return done()
+}
+
+// fleetConfig is the resolved -executor flag group.
+type fleetConfig struct {
+	enabled   bool
+	nodes     int
+	shardSize int
+	chaos     fleet.Chaos
+}
+
+// resolveFleetFlags validates the -executor flag group. The fleet
+// sizing and chaos flags are rejected under -executor local so a typo'd
+// chaos run cannot silently fall back to a calm local pool.
+func resolveFleetFlags(executor string, nodes, shardSize int, nodeFaults string) (fleetConfig, error) {
+	switch executor {
+	case "local", "":
+		if nodes != 0 || shardSize != 0 || nodeFaults != "" {
+			return fleetConfig{}, fmt.Errorf(`-nodes, -shardsize, and -nodefaults require -executor fleet`)
+		}
+		return fleetConfig{}, nil
+	case "fleet":
+	default:
+		return fleetConfig{}, fmt.Errorf(`-executor %q: want "local" or "fleet"`, executor)
+	}
+	chaos, err := fleet.ParseChaos(nodeFaults)
+	if err != nil {
+		return fleetConfig{}, fmt.Errorf("-nodefaults: %w", err)
+	}
+	if nodes == 0 {
+		nodes = 3
+	}
+	return fleetConfig{enabled: true, nodes: nodes, shardSize: shardSize, chaos: chaos}, nil
 }
 
 // sweepPoint is one configuration's sweep outcome: either a measured

@@ -69,6 +69,13 @@ type Spec struct {
 	// cancellation still aborts the whole sweep — a gone caller is not a
 	// point failure.
 	ContinueOnError bool
+	// Executor selects the fan-out strategy. Nil means LocalExecutor
+	// (the in-process pool bounded by Workers). internal/fleet provides
+	// a sharded multi-node executor; whichever is chosen, the outcome
+	// bytes are identical — a point is a pure function of (Seed, config),
+	// so the executor shapes wall-clock and fault tolerance, never
+	// results.
+	Executor Executor
 }
 
 // DefaultSpec returns the paper's methodology with 1% meter noise.
@@ -168,37 +175,32 @@ func RunConfigs(ctx context.Context, dev device.Device, w device.Workload, confi
 		return nil, errors.New("campaign: no configurations")
 	}
 	w = w.Normalized()
-	prog := parallel.NewProgress(len(configs), spec.Progress)
-	// pointOutcome carries either a measured report or a recorded
-	// failure through the pool, so a degrading campaign keeps its
-	// order-indexed results without aborting on the first bad point.
-	type pointOutcome struct {
-		report  PointReport
-		failure *PointFailure
+	job := &Job{
+		Device:   dev,
+		Workload: w,
+		Configs:  configs,
+		Spec:     spec,
+		progress: parallel.NewProgress(len(configs), spec.Progress),
 	}
-	outcomes, err := parallel.Map(ctx, spec.Workers, len(configs), func(ctx context.Context, i int) (pointOutcome, error) {
-		p, err := retriedPoint(ctx, dev, w, configs[i], spec)
-		if err != nil {
-			if !spec.ContinueOnError || fault.IsContextErr(err) {
-				return pointOutcome{}, err
-			}
-			prog.Tick()
-			return pointOutcome{failure: &PointFailure{Config: configs[i], Attempts: p.Attempts, Err: err}}, nil
-		}
-		prog.Tick()
-		return pointOutcome{report: p}, nil
-	})
+	exec := spec.Executor
+	if exec == nil {
+		exec = LocalExecutor{}
+	}
+	outcomes, err := exec.Execute(ctx, job)
 	if err != nil {
 		return nil, err
 	}
+	if len(outcomes) != len(configs) {
+		return nil, fmt.Errorf("campaign: executor %T returned %d outcomes for %d configurations", exec, len(outcomes), len(configs))
+	}
 	out := &Result{Device: dev.Spec().CatalogName, Kind: dev.Kind(), Workload: w}
 	for _, o := range outcomes {
-		if o.failure != nil {
-			out.Failed = append(out.Failed, *o.failure)
+		if o.Failure != nil {
+			out.Failed = append(out.Failed, *o.Failure)
 			continue
 		}
-		out.Points = append(out.Points, o.report)
-		out.TotalRuns += o.report.Runs
+		out.Points = append(out.Points, o.Report)
+		out.TotalRuns += o.Report.Runs
 	}
 	return out, nil
 }

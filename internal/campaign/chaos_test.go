@@ -199,15 +199,15 @@ func TestChaosDegradesGracefully(t *testing.T) {
 
 // chaosSeedCase is one committed fault schedule in the regression corpus.
 type chaosSeedCase struct {
-	Name      string     `json:"name"`
-	Device    string     `json:"device"`
-	App       string     `json:"app"`
-	N         int        `json:"n"`
-	Products  int        `json:"products"`
-	Seed      int64      `json:"seed"`
-	Workers   int        `json:"workers"`
-	Attempts  int        `json:"attempts"`
-	Faults    string     `json:"faults"`
+	Name     string `json:"name"`
+	Device   string `json:"device"`
+	App      string `json:"app"`
+	N        int    `json:"n"`
+	Products int    `json:"products"`
+	Seed     int64  `json:"seed"`
+	Workers  int    `json:"workers"`
+	Attempts int    `json:"attempts"`
+	Faults   string `json:"faults"`
 }
 
 // TestChaosRegressionSeeds replays the committed corpus of fault

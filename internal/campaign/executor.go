@@ -1,0 +1,90 @@
+package campaign
+
+import (
+	"context"
+
+	"energyprop/internal/device"
+	"energyprop/internal/fault"
+	"energyprop/internal/parallel"
+)
+
+// PointOutcome is one configuration's terminal outcome as an Executor
+// reports it: either a measured report or a recorded failure (when the
+// spec degrades gracefully). Exactly one of the two is set.
+type PointOutcome struct {
+	Report  PointReport
+	Failure *PointFailure
+}
+
+// Job is one campaign execution request handed to an Executor: the
+// opened device, the normalized workload, the explicit configuration
+// list, and the spec. Executors measure every configuration and return
+// the outcomes indexed like Configs; how the work is fanned out (a local
+// worker pool, a sharded fleet of simulated nodes, ...) is the
+// executor's business and must never change the outcome bytes — a
+// point's measurement is a pure function of (Spec.Seed, config).
+type Job struct {
+	// Device is the campaign's reference device. Executors that host
+	// their own device instances (fleet nodes) must host instances with
+	// the same measurement identity (same registry name, kind, catalog
+	// spec), or the records will differ from the local executor's.
+	Device   device.Device
+	Workload device.Workload
+	Configs  []device.Config
+	Spec     Spec
+
+	progress *parallel.Progress
+}
+
+// Tick reports one committed configuration to the spec's progress
+// callback. Executors call it once per outcome they commit; calls are
+// serialized, so the callback needs no locking of its own.
+func (j *Job) Tick() { j.progress.Tick() }
+
+// MeasureOn measures the job's i-th configuration on dev — the
+// per-point unit of work every executor fans out. It applies the spec's
+// cache and retry policy exactly like the local pool, so a point
+// measured on any executor's device instance is byte-identical to the
+// serial reference path. The returned error is non-nil only when the
+// campaign must abort: a context error, or any failure when the spec
+// does not degrade gracefully. A tolerated failure comes back as a
+// PointOutcome recording the failure.
+func (j *Job) MeasureOn(ctx context.Context, dev device.Device, i int) (PointOutcome, error) {
+	p, err := retriedPoint(ctx, dev, j.Workload, j.Configs[i], j.Spec)
+	if err != nil {
+		if !j.Spec.ContinueOnError || fault.IsContextErr(err) {
+			return PointOutcome{}, err
+		}
+		return PointOutcome{Failure: &PointFailure{Config: j.Configs[i], Attempts: p.Attempts, Err: err}}, nil
+	}
+	return PointOutcome{Report: p}, nil
+}
+
+// Executor is the strategy that fans a campaign's configurations out.
+// The local worker pool is the reference implementation; internal/fleet
+// provides a sharded multi-node dispatcher. Every implementation must
+// return outcomes indexed like job.Configs and must leave the outcome
+// bytes executor-independent: RunConfigs callers (the service,
+// gpusweep, epstudy) pick an executor for wall-clock and fault-tolerance
+// shape, never for different results.
+type Executor interface {
+	Execute(ctx context.Context, job *Job) ([]PointOutcome, error)
+}
+
+// LocalExecutor measures the campaign in-process on a bounded worker
+// pool of Spec.Workers goroutines — the reference executor RunConfigs
+// uses when the spec names none. Workers == 1 is the serial path every
+// determinism test compares against.
+type LocalExecutor struct{}
+
+// Execute implements Executor on the in-process pool.
+func (LocalExecutor) Execute(ctx context.Context, job *Job) ([]PointOutcome, error) {
+	return parallel.Map(ctx, job.Spec.Workers, len(job.Configs), func(ctx context.Context, i int) (PointOutcome, error) {
+		o, err := job.MeasureOn(ctx, job.Device, i)
+		if err != nil {
+			return PointOutcome{}, err
+		}
+		job.Tick()
+		return o, nil
+	})
+}

@@ -1,0 +1,194 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// retryCorpusSeed fixes the randomized-policy corpus: the property
+// tests draw hundreds of (policy, point seed, attempt) triples, but
+// from this seed, so a failure names a reproducible counterexample.
+const retryCorpusSeed = 1893
+
+// randomPolicy draws one policy from the corpus generator, spanning
+// sub-microsecond bases through multi-second caps and the degenerate
+// corners (no base, no cap).
+func randomPolicy(rng *rand.Rand) RetryPolicy {
+	p := RetryPolicy{MaxAttempts: rng.Intn(12)}
+	if rng.Intn(4) > 0 {
+		p.BaseDelay = time.Duration(rng.Int63n(int64(2 * time.Second)))
+	}
+	if rng.Intn(2) == 0 {
+		p.MaxDelay = time.Duration(rng.Int63n(int64(10 * time.Second)))
+	}
+	return p
+}
+
+// envelope is the un-jittered backoff bound the k-th retry must respect:
+// BaseDelay·2^(k-1), capped by MaxDelay when one is set.
+func envelope(p RetryPolicy, attempt int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < 1<<40; i++ {
+		d *= 2
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
+// TestBackoffBoundedByEnvelope is the backoff-range property: for any
+// policy, seed, and attempt, the jittered delay lies in [envelope/2,
+// envelope), and a zero BaseDelay produces exactly zero.
+func TestBackoffBoundedByEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(retryCorpusSeed))
+	for trial := 0; trial < 300; trial++ {
+		p := randomPolicy(rng)
+		seed := rng.Int63()
+		attempt := 1 + rng.Intn(20)
+		got := p.Backoff(seed, attempt)
+		if p.BaseDelay <= 0 {
+			if got != 0 {
+				t.Fatalf("trial %d: zero BaseDelay slept %v (policy %+v)", trial, got, p)
+			}
+			continue
+		}
+		env := envelope(p, attempt)
+		if got < env/2 || got >= env {
+			t.Fatalf("trial %d: Backoff(%d, %d) = %v outside [%v, %v) (policy %+v)",
+				trial, seed, attempt, got, env/2, env, p)
+		}
+	}
+}
+
+// TestBackoffEnvelopeMonotone pins the cap behaviour: the un-jittered
+// envelope never decreases with the attempt number and never exceeds
+// MaxDelay, so late retries cannot out-sleep the configured ceiling.
+func TestBackoffEnvelopeMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(retryCorpusSeed + 1))
+	for trial := 0; trial < 100; trial++ {
+		p := randomPolicy(rng)
+		if p.BaseDelay <= 0 {
+			continue
+		}
+		prev := time.Duration(0)
+		for attempt := 1; attempt <= 24; attempt++ {
+			env := envelope(p, attempt)
+			if env < prev {
+				t.Fatalf("trial %d: envelope shrank at attempt %d: %v < %v (policy %+v)", trial, attempt, env, prev, p)
+			}
+			if p.MaxDelay > 0 && env > p.MaxDelay {
+				t.Fatalf("trial %d: envelope %v exceeds cap %v at attempt %d (policy %+v)", trial, env, p.MaxDelay, attempt, p)
+			}
+			// The realized backoff must respect the same ceiling.
+			if got := p.Backoff(int64(trial), attempt); p.MaxDelay > 0 && got >= max(p.MaxDelay, p.BaseDelay) {
+				t.Fatalf("trial %d: Backoff %v breaches the cap %v (policy %+v)", trial, got, p.MaxDelay, p)
+			}
+			prev = env
+		}
+	}
+}
+
+// TestBackoffJitterIsPure is the determinism property: the jitter is a
+// pure function of (seed, attempt) — equal inputs give equal delays
+// across fresh policy values, and distinct seeds de-synchronize.
+func TestBackoffJitterIsPure(t *testing.T) {
+	rng := rand.New(rand.NewSource(retryCorpusSeed + 2))
+	for trial := 0; trial < 200; trial++ {
+		p := randomPolicy(rng)
+		if p.BaseDelay <= 0 {
+			p.BaseDelay = time.Millisecond
+		}
+		seed := rng.Int63()
+		attempt := 1 + rng.Intn(10)
+		first := p.Backoff(seed, attempt)
+		for rep := 0; rep < 3; rep++ {
+			if again := p.Backoff(seed, attempt); again != first {
+				t.Fatalf("trial %d: Backoff(%d, %d) drifted: %v then %v", trial, seed, attempt, first, again)
+			}
+		}
+	}
+	// Distinct (seed, attempt) inputs should spread across the jitter
+	// range rather than collapse to one fraction.
+	p := RetryPolicy{BaseDelay: time.Second}
+	seen := map[time.Duration]bool{}
+	for s := int64(0); s < 64; s++ {
+		seen[p.Backoff(s, 1)] = true
+	}
+	if len(seen) < 16 {
+		t.Errorf("64 seeds produced only %d distinct jittered delays", len(seen))
+	}
+}
+
+// TestDoContextErrorsNeverRetriedProperty is the randomized version of
+// the context rule: an fn error that is (or wraps) a context
+// cancellation or deadline expiry returns after exactly one attempt,
+// whatever policy the corpus draws.
+func TestDoContextErrorsNeverRetriedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(retryCorpusSeed + 3))
+	ctxErrs := []error{
+		context.Canceled,
+		context.DeadlineExceeded,
+		fmt.Errorf("sweep aborted: %w", context.Canceled),
+		fmt.Errorf("meter: %w", fmt.Errorf("deadline: %w", context.DeadlineExceeded)),
+	}
+	for trial := 0; trial < 100; trial++ {
+		p := randomPolicy(rng)
+		p.BaseDelay = 0 // keep the test clock-free
+		werr := ctxErrs[rng.Intn(len(ctxErrs))]
+		calls := 0
+		attempts, err := p.Do(context.Background(), rng.Int63(), func(int) error {
+			calls++
+			return werr
+		})
+		if calls != 1 || attempts != 1 {
+			t.Fatalf("trial %d: context error retried (%d calls, %d attempts) under %+v", trial, calls, attempts, p)
+		}
+		if !errors.Is(err, werr) {
+			t.Fatalf("trial %d: Do rewrote the error: %v", trial, err)
+		}
+	}
+}
+
+// TestDoBudgetExhaustion closes the property set: a persistently
+// failing fn consumes exactly the attempt budget (minimum 1), and a
+// success on attempt k stops there.
+func TestDoBudgetExhaustion(t *testing.T) {
+	rng := rand.New(rand.NewSource(retryCorpusSeed + 4))
+	boom := errors.New("persistent failure")
+	for trial := 0; trial < 100; trial++ {
+		p := randomPolicy(rng)
+		p.BaseDelay = 0
+		want := p.MaxAttempts
+		if want < 1 {
+			want = 1
+		}
+		calls := 0
+		attempts, err := p.Do(context.Background(), rng.Int63(), func(int) error {
+			calls++
+			return boom
+		})
+		if !errors.Is(err, boom) || calls != want || attempts != want {
+			t.Fatalf("trial %d: budget %d consumed %d calls / %d attempts (err %v)", trial, want, calls, attempts, err)
+		}
+		if want < 2 {
+			continue
+		}
+		succeedAt := 1 + rng.Intn(want)
+		calls = 0
+		attempts, err = p.Do(context.Background(), rng.Int63(), func(a int) error {
+			calls++
+			if a >= succeedAt {
+				return nil
+			}
+			return boom
+		})
+		if err != nil || attempts != succeedAt || calls != succeedAt {
+			t.Fatalf("trial %d: success at %d took %d attempts (err %v)", trial, succeedAt, attempts, err)
+		}
+	}
+}

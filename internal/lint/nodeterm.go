@@ -20,6 +20,7 @@ var determScoped = map[string]bool{
 	"energyprop/internal/service":    true,
 	"energyprop/internal/experiment": true,
 	"energyprop/internal/fault":      true,
+	"energyprop/internal/fleet":      true,
 }
 
 // randConstructors are the math/rand package functions that *build*

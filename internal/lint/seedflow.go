@@ -20,6 +20,7 @@ var seedFlowScoped = map[string]bool{
 	"energyprop/internal/meter":    true,
 	"energyprop/internal/service":  true,
 	"energyprop/internal/fault":    true,
+	"energyprop/internal/fleet":    true,
 }
 
 // seedFlowStrict is the subset of scoped packages where the device-generic

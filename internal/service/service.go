@@ -46,6 +46,16 @@
 // X-Points-Failed header; a sweep with no survivors answers 502. A
 // client disconnect is recorded as 499 (client closed request), never
 // as a 500.
+//
+// A sweep may also choose its executor: "local" (default) runs the
+// in-process worker pool; "fleet" shards the campaign across simulated
+// worker nodes (internal/fleet) with per-tick health checks, cordoning,
+// and automatic remediation, tunable via "nodes", "shard_size", and a
+// "node_faults" chaos schedule (preemptions, flapping health,
+// stragglers). The returned record is byte-identical to a local sweep —
+// that is the fleet's headline invariant — and the control-plane
+// activity is reported in X-Fleet-Shards/-Preemptions/-Cordons/
+// -Remediations headers.
 package service
 
 import (
@@ -61,6 +71,7 @@ import (
 	"energyprop/internal/campaign"
 	"energyprop/internal/device"
 	"energyprop/internal/fault"
+	"energyprop/internal/fleet"
 	"energyprop/internal/memo"
 )
 
@@ -86,6 +97,11 @@ const (
 	// MaxRequestTimeoutMS caps the client-requested deadline; longer
 	// requests should be split, not parked on a handler goroutine.
 	MaxRequestTimeoutMS = 10 * 60 * 1000
+	// MaxRequestNodes caps the simulated fleet size of an
+	// executor:"fleet" sweep; DefaultRequestNodes is used when the
+	// request does not name one.
+	MaxRequestNodes     = 64
+	DefaultRequestNodes = 4
 )
 
 // StatusClientClosedRequest is the nginx-convention 499 recorded when
@@ -448,6 +464,103 @@ type SweepRequest struct {
 	Retries int `json:"retries,omitempty"`
 	// Faults, when present, injects a deterministic fault schedule.
 	Faults *FaultRequest `json:"faults,omitempty"`
+	// Executor selects the fan-out strategy: "local" (default, the
+	// in-process worker pool) or "fleet" (the sweep is sharded across
+	// simulated worker nodes with health checks, cordoning, and
+	// remediation — internal/fleet). The record is byte-identical either
+	// way; fleet mode exists to exercise the control plane and is
+	// reported through the X-Fleet-* response headers.
+	Executor string `json:"executor,omitempty"`
+	// Nodes is the fleet size (executor "fleet" only); 0 means
+	// DefaultRequestNodes, capped at MaxRequestNodes.
+	Nodes int `json:"nodes,omitempty"`
+	// ShardSize is the number of configurations per fleet shard; 0
+	// derives one shard per node.
+	ShardSize int `json:"shard_size,omitempty"`
+	// NodeFaults, when present, injects a deterministic node-failure
+	// schedule (preemptions, flapping health checks, stragglers) into
+	// the fleet — the node-level analog of Faults.
+	NodeFaults *NodeFaultRequest `json:"node_faults,omitempty"`
+}
+
+// NodeFaultRequest mirrors fleet.Chaos: a deterministic node-failure
+// schedule for executor:"fleet" sweeps. Probabilities are per draw
+// (preempt per shard dispatch, flaky per node-tick health check, slow
+// per dispatch); the whole schedule derives from the seed, so a
+// replayed request replays the identical cordon/remediate/preempt
+// interleaving.
+type NodeFaultRequest struct {
+	Seed      int64   `json:"seed"`
+	Preempt   float64 `json:"preempt,omitempty"`
+	Flaky     float64 `json:"flaky,omitempty"`
+	Slow      float64 `json:"slow,omitempty"`
+	SlowTicks int64   `json:"slow_ticks,omitempty"`
+}
+
+// chaos converts the request body to the fleet's schedule.
+func (n *NodeFaultRequest) chaos() fleet.Chaos {
+	return fleet.Chaos{
+		Seed:      n.Seed,
+		Preempt:   n.Preempt,
+		Flaky:     n.Flaky,
+		Slow:      n.Slow,
+		SlowTicks: fleet.Tick(n.SlowTicks),
+	}
+}
+
+// sweepCoordinator validates a sweep's executor knobs and builds the
+// fleet coordinator when one is requested. A nil, nil return means the
+// local pool. Device-level faults ride along into the fleet (each node
+// derives its own schedule from the request plan), so the caller must
+// not also wrap the campaign device in fleet mode.
+func sweepCoordinator(req *SweepRequest) (*fleet.Coordinator, error) {
+	switch req.Executor {
+	case "", "local":
+		if req.Nodes != 0 || req.ShardSize != 0 || req.NodeFaults != nil {
+			return nil, errors.New(`nodes, shard_size, and node_faults require executor "fleet"`)
+		}
+		return nil, nil
+	case "fleet":
+	default:
+		return nil, fmt.Errorf("unknown executor %q (want \"local\" or \"fleet\")", req.Executor)
+	}
+	nodes := req.Nodes
+	if nodes == 0 {
+		nodes = DefaultRequestNodes
+	}
+	if nodes < 1 || nodes > MaxRequestNodes {
+		return nil, fmt.Errorf("nodes=%d out of range 1..%d", req.Nodes, MaxRequestNodes)
+	}
+	var plan fault.Plan
+	if req.Faults != nil {
+		if math.IsNaN(req.Faults.LatencyMS) || req.Faults.LatencyMS < 0 || req.Faults.LatencyMS > MaxRequestTimeoutMS {
+			return nil, fmt.Errorf("faults.latency_ms %v out of [0, %d]", req.Faults.LatencyMS, MaxRequestTimeoutMS)
+		}
+		plan = req.Faults.plan()
+	}
+	var chaos fleet.Chaos
+	if req.NodeFaults != nil {
+		chaos = req.NodeFaults.chaos()
+	}
+	coord, err := fleet.ForDevice(req.Device, plan, fleet.Options{
+		Nodes:       nodes,
+		ShardSize:   req.ShardSize,
+		Parallelism: req.Workers,
+		Chaos:       chaos,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return coord, nil
+}
+
+// setFleetHeaders exposes a fleet sweep's control-plane activity.
+func setFleetHeaders(w http.ResponseWriter, coord *fleet.Coordinator) {
+	st := coord.Stats()
+	w.Header().Set("X-Fleet-Shards", strconv.Itoa(st.Shards))
+	w.Header().Set("X-Fleet-Preemptions", strconv.Itoa(st.Preemptions))
+	w.Header().Set("X-Fleet-Cordons", strconv.Itoa(st.Cordons))
+	w.Header().Set("X-Fleet-Remediations", strconv.Itoa(st.Remediations))
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -484,8 +597,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	spec.ContinueOnError = true
-	rdev, err := wrapFaults(dev, req.Faults)
+	coord, err := sweepCoordinator(&req)
 	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rdev := dev
+	if coord != nil {
+		// Fleet mode: every node hosts (and fault-wraps) its own device
+		// instance, so the reference device stays clean.
+		spec.Executor = fleet.Executor{Coord: coord}
+	} else if rdev, err = wrapFaults(dev, req.Faults); err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -495,6 +617,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.setCacheHeaders(w)
+	if coord != nil {
+		setFleetHeaders(w, coord)
+	}
 	if n := len(res.Failed); n > 0 {
 		w.Header().Set("X-Points-Failed", strconv.Itoa(n))
 	}
