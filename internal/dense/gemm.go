@@ -58,6 +58,8 @@ func GemmNaive(alpha float64, a, b *Matrix, beta float64, c *Matrix) error {
 // row range [rowLo, rowHi) of A and C. Passing the full range gives a
 // serial blocked GEMM; the parallel driver hands disjoint row ranges to
 // worker goroutines.
+//
+//lint:root hotalloc per-point GEMM kernel; BenchmarkGemm pins it allocation-free in steady state
 func GemmBlocked(v Variant, alpha float64, a, b *Matrix, beta float64, c *Matrix, rowLo, rowHi int) error {
 	if err := checkGemmShapes(a, b, c); err != nil {
 		return err

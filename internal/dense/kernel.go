@@ -19,6 +19,8 @@ import (
 // per-thread accumulation order, same G-style repetition semantics
 // (repeating the product G·R times just recomputes C — verified in
 // tests).
+//
+//lint:root hotalloc Fig 5 kernel; tile/Csub scratch is pooled, steady state must stay allocation-free
 func GemmSharedKernel(bs int, a, b, c *Matrix, groups int) error {
 	if err := checkGemmShapes(a, b, c); err != nil {
 		return err
@@ -45,6 +47,7 @@ func GemmSharedKernel(bs int, a, b, c *Matrix, groups int) error {
 	var wg sync.WaitGroup
 	for wkr := 0; wkr < groups; wkr++ {
 		wg.Add(1)
+		//lint:ignore hotalloc worker-spawn closure: created once per worker per call, not per block; the per-block loop inside is allocation-free
 		go func(wkr int) {
 			defer wg.Done()
 			ap, bp, cp := getF64(bs*bs), getF64(bs*bs), getF64(bs*bs)

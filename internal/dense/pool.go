@@ -14,6 +14,7 @@ var f64Pool = sync.Pool{New: func() any { return new([]float64) }}
 func getF64(n int) *[]float64 {
 	p := f64Pool.Get().(*[]float64)
 	if cap(*p) < n {
+		//lint:ignore hotalloc pool grow path: runs only on a cold pool or a size increase, steady state reuses the buffer
 		*p = make([]float64, n)
 	}
 	*p = (*p)[:n]

@@ -140,6 +140,13 @@ type Coordinator struct {
 	opts    Options
 	factory DeviceFactory
 
+	// runMu admits one campaign at a time; it is held for a run's whole
+	// duration, including shard execution. mu guards the control-plane
+	// state below and is released around execution, so Stats, Events,
+	// and Nodes snapshots are never blocked behind a running
+	// measurement — only behind a round's bookkeeping.
+	runMu sync.Mutex
+
 	mu     sync.Mutex
 	clock  Clock
 	nodes  []*node
@@ -253,6 +260,10 @@ func (c *Coordinator) resolveShardSize(n int) int {
 
 // run is the scheduling loop: single-threaded rounds on the virtual
 // clock, with only each round's dispatched shard executions fanned out.
+// The state lock mu is dropped for step 4 (execution): a shard can run
+// real measurements for seconds, and holding mu across them would
+// serialize every Stats/Events/Nodes reader behind the campaign — the
+// exact hazard the lockorder lint rule exists to catch.
 func (c *Coordinator) run(ctx context.Context, n int, exec func(ctx context.Context, dev device.Device, item int) error) error {
 	if n <= 0 {
 		return nil
@@ -260,9 +271,11 @@ func (c *Coordinator) run(ctx context.Context, n int, exec func(ctx context.Cont
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if err := c.reset(); err != nil {
+		c.mu.Unlock()
 		return err
 	}
 	size := c.resolveShardSize(n)
@@ -277,9 +290,11 @@ func (c *Coordinator) run(ctx context.Context, n int, exec func(ctx context.Cont
 
 	for pending > 0 {
 		if err := ctx.Err(); err != nil {
+			c.mu.Unlock()
 			return err
 		}
 		if c.stats.Rounds >= c.opts.MaxRounds {
+			c.mu.Unlock()
 			return fmt.Errorf("fleet: exceeded the %d-round budget with %d shards pending", c.opts.MaxRounds, pending)
 		}
 		t := c.clock.Advance()
@@ -332,6 +347,7 @@ func (c *Coordinator) run(ctx context.Context, n int, exec func(ctx context.Cont
 			}
 			if ok && t >= nd.cordonUntil && !nd.busy() {
 				if err := c.remediate(nd, t); err != nil {
+					c.mu.Unlock()
 					return err
 				}
 			}
@@ -369,11 +385,16 @@ func (c *Coordinator) run(ctx context.Context, n int, exec func(ctx context.Cont
 			}
 		}
 
-		// 4. Execute this round's surviving dispatches. Results are
-		// committed by item index, so goroutine interleaving is
-		// invisible; a preempted dispatch never runs (its loss was
-		// decided above), so no item executes twice.
+		// 4. Execute this round's surviving dispatches with mu released,
+		// so readers can snapshot mid-campaign. Results are committed by
+		// item index, so goroutine interleaving is invisible; a
+		// preempted dispatch never runs (its loss was decided above), so
+		// no item executes twice. Nothing else mutates node assignments
+		// until this round's Map returns: runMu keeps other runs out,
+		// and the scheduling loop itself is blocked right here.
+		c.mu.Unlock()
 		if len(batch) > 0 {
+			//lint:ignore lockorder runMu is the campaign admission lock: it serializes whole runs by design, no reader takes it, and the state lock mu is released here
 			_, err := parallel.Map(ctx, c.opts.Parallelism, len(batch), func(ctx context.Context, k int) (struct{}, error) {
 				nd := batch[k]
 				for _, item := range nd.assignment.outcomes {
@@ -387,6 +408,7 @@ func (c *Coordinator) run(ctx context.Context, n int, exec func(ctx context.Cont
 				return err
 			}
 		}
+		c.mu.Lock()
 
 		// 5. Stall detection: work queued, nothing running, and no node
 		// accepting — the fleet can only wait on remediation. If that
@@ -394,6 +416,7 @@ func (c *Coordinator) run(ctx context.Context, n int, exec func(ctx context.Cont
 		if pending > 0 && len(batch) == 0 && c.allUnavailable() {
 			stalled++
 			if stalled > c.opts.StallRounds {
+				c.mu.Unlock()
 				return fmt.Errorf("fleet: stalled for %d rounds with %d shards pending and all %d nodes cordoned",
 					stalled, pending, len(c.nodes))
 			}
@@ -401,6 +424,7 @@ func (c *Coordinator) run(ctx context.Context, n int, exec func(ctx context.Cont
 			stalled = 0
 		}
 	}
+	c.mu.Unlock()
 	return nil
 }
 

@@ -1,0 +1,166 @@
+package lint
+
+import "testing"
+
+// buildFixtureGraph type-checks src as a fixture package (plus any real
+// tree packages named by extra) and builds the call graph over them.
+func buildFixtureGraph(t *testing.T, importPath, src string, extra ...string) *Graph {
+	t.Helper()
+	l := fixtureLoader(t)
+	pkg, err := l.CheckSource(importPath, "fixture.go", src)
+	if err != nil {
+		t.Fatalf("fixture does not type-check: %v\nsource:\n%s", err, numbered(src))
+	}
+	pkgs := []*Package{pkg}
+	for _, path := range extra {
+		ep, err := l.LoadPath(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		pkgs = append(pkgs, ep)
+	}
+	return BuildGraph(pkgs)
+}
+
+// nodeNamed finds a node by its display name, failing the test when the
+// graph has no such node.
+func nodeNamed(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.String() == name {
+			return n
+		}
+	}
+	var names []string
+	for _, n := range g.Nodes {
+		names = append(names, n.String())
+	}
+	t.Fatalf("graph has no node %q; nodes: %v", name, names)
+	return nil
+}
+
+func TestGraphRecursionTerminates(t *testing.T) {
+	src := `package graphfix
+
+func a() { a(); b() }
+
+func b() { c() }
+
+func c() { a() }
+
+func unreached() {}
+`
+	g := buildFixtureGraph(t, "energyprop/internal/graphfix", src)
+	reach := g.Reach([]*Node{nodeNamed(t, g, "graphfix.a")})
+	for _, name := range []string{"graphfix.a", "graphfix.b", "graphfix.c"} {
+		if !reach.Has(nodeNamed(t, g, name)) {
+			t.Errorf("%s should be reachable from a through the recursive cycle", name)
+		}
+	}
+	if reach.Has(nodeNamed(t, g, "graphfix.unreached")) {
+		t.Error("unreached has no callers and must not be reachable")
+	}
+}
+
+func TestGraphMethodValues(t *testing.T) {
+	// A bound method value stored in a variable and called indirectly
+	// must produce an edge to the method.
+	src := `package graphfix
+
+type T struct{ hits int }
+
+func (t *T) Bump() { t.hits++ }
+
+func use() {
+	var t T
+	f := t.Bump
+	f()
+}
+`
+	g := buildFixtureGraph(t, "energyprop/internal/graphfix", src)
+	reach := g.Reach([]*Node{nodeNamed(t, g, "graphfix.use")})
+	if !reach.Has(nodeNamed(t, g, "graphfix.(*T).Bump")) {
+		t.Error("method value call must reach (*T).Bump")
+	}
+}
+
+func TestGraphInterfaceDispatchOverDevice(t *testing.T) {
+	// A call through the real device.Device interface resolves with CHA
+	// to every analyzed implementation — here, the fixture's.
+	src := `package graphfix
+
+import (
+	"context"
+
+	"energyprop/internal/device"
+)
+
+type dev struct{}
+
+func (dev) Name() string      { return "fake" }
+func (dev) Kind() string      { return "cpu" }
+func (dev) Spec() device.Spec { return device.Spec{} }
+
+func (dev) Configs(w device.Workload) ([]device.Config, error) { return nil, nil }
+
+func (dev) Run(ctx context.Context, w device.Workload, c device.Config) (*device.Outcome, error) {
+	return nil, nil
+}
+
+func drive(ctx context.Context, d device.Device) error {
+	_, err := d.Run(ctx, device.Workload{}, nil)
+	return err
+}
+`
+	g := buildFixtureGraph(t, "energyprop/internal/graphfix", src)
+	reach := g.Reach([]*Node{nodeNamed(t, g, "graphfix.drive")})
+	if !reach.Has(nodeNamed(t, g, "graphfix.(dev).Run")) {
+		t.Error("interface call d.Run must resolve to the fixture implementation via CHA")
+	}
+	if reach.Has(nodeNamed(t, g, "graphfix.(dev).Configs")) {
+		t.Error("CHA must resolve the called method only, not the whole method set")
+	}
+}
+
+func TestGraphClosurePassedAsParameter(t *testing.T) {
+	// A closure handed to a harness function is a target of the
+	// harness's indirect call through its parameter — the
+	// parallelRange(threads, n, fn) shape.
+	src := `package graphfix
+
+func harness(fn func(int) error) {
+	_ = fn(1)
+}
+
+func caller() {
+	n := 2
+	harness(func(i int) error {
+		_ = i + n
+		return nil
+	})
+}
+`
+	g := buildFixtureGraph(t, "energyprop/internal/graphfix", src)
+	reach := g.Reach([]*Node{nodeNamed(t, g, "graphfix.harness")})
+	if !reach.Has(nodeNamed(t, g, "graphfix.caller$1")) {
+		t.Error("harness's indirect call through fn must reach the closure its caller passes")
+	}
+}
+
+func TestGraphReachPath(t *testing.T) {
+	src := `package graphfix
+
+func a() { b() }
+
+func b() { c() }
+
+func c() {}
+`
+	g := buildFixtureGraph(t, "energyprop/internal/graphfix", src)
+	reach := g.Reach([]*Node{nodeNamed(t, g, "graphfix.a")})
+	got := reach.Path(nodeNamed(t, g, "graphfix.c"))
+	want := "graphfix.a → graphfix.b → graphfix.c"
+	if got != want {
+		t.Errorf("Path(c) = %q, want %q", got, want)
+	}
+}

@@ -45,12 +45,29 @@ type want struct {
 // directives participate), and asserts the findings match wants exactly.
 func checkFixture(t *testing.T, rules []Rule, importPath, src string, wants []want) Summary {
 	t.Helper()
+	return checkFixturePkgs(t, rules, importPath, src, nil, wants)
+}
+
+// checkFixturePkgs is checkFixture plus real tree packages loaded by
+// import path and analyzed alongside the fixture — the shape for
+// cross-package dataflow tests (e.g. a campaign fixture whose seed
+// conduit is discovered inside the real internal/meter).
+func checkFixturePkgs(t *testing.T, rules []Rule, importPath, src string, extra []string, wants []want) Summary {
+	t.Helper()
 	l := fixtureLoader(t)
 	pkg, err := l.CheckSource(importPath, "fixture.go", src)
 	if err != nil {
 		t.Fatalf("fixture does not type-check: %v\nsource:\n%s", err, numbered(src))
 	}
-	findings, sum := Run([]*Package{pkg}, rules)
+	pkgs := []*Package{pkg}
+	for _, path := range extra {
+		ep, err := l.LoadPath(path)
+		if err != nil {
+			t.Fatalf("loading extra package %s: %v", path, err)
+		}
+		pkgs = append(pkgs, ep)
+	}
+	findings, sum := Run(pkgs, rules)
 	var unmatched []Finding
 outer:
 	for _, f := range findings {

@@ -1,0 +1,90 @@
+package lint
+
+import "testing"
+
+func TestHotAllocFlagsTransitiveAllocations(t *testing.T) {
+	// make sits two call hops below the blessed root
+	// (Kernel -> stage1 -> stage2); the unreachable twin is not flagged.
+	src := `package hotfix
+
+//lint:root hotalloc the benchmark pins this kernel allocation-free
+func Kernel(xs []float64) float64 { return stage1(xs) }
+
+func stage1(xs []float64) float64 { return stage2(xs) }
+
+func stage2(xs []float64) float64 {
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	s := 0.0
+	for _, v := range tmp {
+		s += v
+	}
+	return s
+}
+
+func cold(xs []float64) []float64 {
+	return append(xs, 1)
+}
+`
+	checkFixture(t, []Rule{HotAlloc{}}, "energyprop/internal/hotfix", src, []want{
+		{line: 9, rule: "hotalloc", substr: "make on a hot path"},
+	})
+}
+
+func TestHotAllocFlagsAppendFmtAndClosures(t *testing.T) {
+	src := `package hotfix
+
+import "fmt"
+
+//lint:root hotalloc steady state must stay allocation-free
+func Kernel(xs []float64, n int) ([]float64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("bad n %d", n)
+	}
+	fmt.Println("entering hot loop")
+	f := func() float64 { return xs[n] }
+	_ = f()
+	return append(xs, 1), nil
+}
+`
+	checkFixture(t, []Rule{HotAlloc{}}, "energyprop/internal/hotfix", src, []want{
+		{line: 10, rule: "hotalloc", substr: "fmt.Println on a hot path"},
+		{line: 11, rule: "hotalloc", substr: "closure capturing n, xs"},
+		{line: 13, rule: "hotalloc", substr: "append on a hot path"},
+	})
+}
+
+func TestHotAllocIgnoresUnrootedTree(t *testing.T) {
+	// Without a //lint:root hotalloc mark nothing is a hot path, however
+	// allocation-heavy the code.
+	src := `package hotfix
+
+func Busy(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+`
+	checkFixture(t, []Rule{HotAlloc{}}, "energyprop/internal/hotfix", src, nil)
+}
+
+func TestHotAllocSuppression(t *testing.T) {
+	// The pool-grow idiom: an audited suppression on the amortized
+	// allocation, counted as suppressed rather than reported.
+	src := `package hotfix
+
+//lint:root hotalloc pooled scratch keeps steady state allocation-free
+func Kernel(buf *[]float64, n int) {
+	if cap(*buf) < n {
+		//lint:ignore hotalloc pool grow path: cold-start only, steady state reuses the buffer
+		*buf = make([]float64, n)
+	}
+}
+`
+	sum := checkFixture(t, []Rule{HotAlloc{}}, "energyprop/internal/hotfix", src, nil)
+	if sum.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1", sum.Suppressed)
+	}
+}

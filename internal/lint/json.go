@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// JSONFinding is one finding in machine-readable form, the unit of
+// epvet's -json output and of baseline files.
+type JSONFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// Report is the machine-readable outcome of a lint run: what epvet
+// -json prints and what a committed baseline file contains.
+type Report struct {
+	Packages   int           `json:"packages"`
+	Files      int           `json:"files"`
+	Suppressed int           `json:"suppressed"`
+	Findings   []JSONFinding `json:"findings"`
+}
+
+// NewReport converts a run's findings and summary. Findings is never
+// nil so an empty report marshals as [] rather than null.
+func NewReport(findings []Finding, sum Summary) Report {
+	out := Report{
+		Packages:   sum.Packages,
+		Files:      sum.Files,
+		Suppressed: sum.Suppressed,
+		Findings:   make([]JSONFinding, 0, len(findings)),
+	}
+	for _, f := range findings {
+		out.Findings = append(out.Findings, JSONFinding{
+			File: f.Pos.Filename, Line: f.Pos.Line, Rule: f.Rule, Msg: f.Msg,
+		})
+	}
+	return out
+}
+
+// Marshal renders the report as indented JSON with a trailing newline.
+func (r Report) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ParseReport reads a report (or baseline) from its JSON form.
+func ParseReport(data []byte) (Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("lint: parsing report: %w", err)
+	}
+	return r, nil
+}
+
+// identity is the baseline key for one finding. Line numbers are
+// deliberately excluded: edits above a known finding move it without
+// changing what it is, and a baseline that churns on every unrelated
+// edit trains people to regenerate it blindly.
+func (f JSONFinding) identity() string {
+	return f.File + "\x00" + f.Rule + "\x00" + f.Msg
+}
+
+// Diff returns the findings in r that the baseline does not contain —
+// the regressions a baseline-gated CI step fails on. Findings present
+// in the baseline but absent from r (fixed debt) are not reported;
+// regenerating the baseline collects them. The result is sorted like
+// findings everywhere else.
+func (r Report) Diff(baseline Report) []JSONFinding {
+	known := map[string]bool{}
+	for _, f := range baseline.Findings {
+		known[f.identity()] = true
+	}
+	var out []JSONFinding
+	for _, f := range r.Findings {
+		if !known[f.identity()] {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	return out
+}
+
+// String renders the finding in the same file:line: rule: message form
+// as the text output, so baseline-diff output stays grep-compatible.
+func (f JSONFinding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.File, f.Line, f.Rule, f.Msg)
+}

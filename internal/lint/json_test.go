@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportMarshalRoundTrip(t *testing.T) {
+	r := NewReport([]Finding{
+		mkFinding("a.go", 3, "purerun", "clock read"),
+		mkFinding("b.go", 9, "hotalloc", "make on a hot path"),
+	}, Summary{Packages: 2, Files: 4, Suppressed: 1})
+	data, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Findings) != 2 || back.Packages != 2 || back.Suppressed != 1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Findings[0] != r.Findings[0] {
+		t.Fatalf("finding changed: %+v vs %+v", back.Findings[0], r.Findings[0])
+	}
+}
+
+func TestEmptyReportMarshalsFindingsArray(t *testing.T) {
+	data, err := NewReport(nil, Summary{}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"findings": []`) {
+		t.Fatalf("empty report must marshal findings as [], got:\n%s", data)
+	}
+}
+
+func TestBaselineDiffIgnoresLineMoves(t *testing.T) {
+	baseline := NewReport([]Finding{
+		mkFinding("a.go", 3, "purerun", "clock read"),
+	}, Summary{})
+	current := NewReport([]Finding{
+		// Same finding, shifted by an edit above it: not a regression.
+		mkFinding("a.go", 17, "purerun", "clock read"),
+		// A genuinely new finding.
+		mkFinding("a.go", 20, "lockorder", "send under lock"),
+	}, Summary{})
+	diff := current.Diff(baseline)
+	if len(diff) != 1 {
+		t.Fatalf("diff = %v, want exactly the new lockorder finding", diff)
+	}
+	if diff[0].Rule != "lockorder" {
+		t.Fatalf("diff[0] = %+v", diff[0])
+	}
+}
+
+func TestBaselineDiffDoesNotReportFixedDebt(t *testing.T) {
+	baseline := NewReport([]Finding{
+		mkFinding("a.go", 3, "purerun", "clock read"),
+		mkFinding("b.go", 5, "hotalloc", "append on a hot path"),
+	}, Summary{})
+	current := NewReport([]Finding{
+		mkFinding("b.go", 5, "hotalloc", "append on a hot path"),
+	}, Summary{})
+	if diff := current.Diff(baseline); len(diff) != 0 {
+		t.Fatalf("fixing baselined debt must not produce diff entries, got %v", diff)
+	}
+}
+
+func TestParseReportRejectsGarbage(t *testing.T) {
+	if _, err := ParseReport([]byte("not json")); err == nil {
+		t.Fatal("garbage baseline parsed without error")
+	}
+}
+
+func mkFinding(file string, line int, rule, msg string) Finding {
+	f := Finding{Rule: rule, Msg: msg}
+	f.Pos.Filename = file
+	f.Pos.Line = line
+	return f
+}

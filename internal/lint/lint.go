@@ -80,7 +80,9 @@ type Rule interface {
 	Check(pkg *Package) []Finding
 }
 
-// AllRules returns the full registry in reporting order.
+// AllRules returns the full registry in reporting order. The first five
+// are the per-package v1 rules; purerun, hotalloc, and lockorder (and
+// seedflow's v2 taint pass) reason over the whole-program call graph.
 func AllRules() []Rule {
 	return []Rule{
 		NoDeterm{},
@@ -88,6 +90,9 @@ func AllRules() []Rule {
 		FloatEq{},
 		DroppedErr{},
 		CtxSweep{},
+		PureRun{},
+		HotAlloc{},
+		LockOrder{},
 	}
 }
 
@@ -155,77 +160,134 @@ func lineIsBlankBefore(src []byte, pos token.Position) bool {
 	return true
 }
 
+// Directive is one parsed //lint:ignore directive, exported for the
+// suppression audit (TestSuppressionsAreMinimal).
+type Directive struct {
+	Pos    token.Position
+	Target int // line the directive suppresses
+	Rule   string
+	Reason string
+}
+
+// Result is the full outcome of a lint run, including the raw
+// pre-suppression findings and every directive seen, so tests can audit
+// that each suppression is both minimal and load-bearing.
+type Result struct {
+	Findings   []Finding   // surviving findings, sorted
+	Raw        []Finding   // all rule findings before suppression, sorted
+	Directives []Directive // every //lint:ignore directive in the tree
+	Summary    Summary
+}
+
 // Run applies the rules to every package, resolves //lint:ignore
 // directives, and returns the surviving findings sorted by file, line,
 // and rule. Directive misuse (empty reason, unknown rule, stale ignore)
 // is reported under the "ignore" pseudo-rule.
 func Run(pkgs []*Package, rules []Rule) ([]Finding, Summary) {
+	res := RunAll(pkgs, rules)
+	return res.Findings, res.Summary
+}
+
+// RunAll is Run plus the audit surfaces. Suppressions are resolved
+// globally — interprocedural rules may report a finding in any file,
+// not just the one whose package is being checked — and program rules
+// execute once over a shared call graph after the per-package pass.
+func RunAll(pkgs []*Package, rules []Rule) Result {
 	known := map[string]bool{}
+	var progRules []ProgramRule
 	for _, r := range rules {
 		known[r.Name()] = true
+		if pr, ok := r.(ProgramRule); ok {
+			progRules = append(progRules, pr)
+		}
 	}
-	var sum Summary
-	var out []Finding
+	var res Result
+	sum := &res.Summary
+
+	// Global directive table: file name -> directives, plus flat order.
+	ignores := map[string][]*ignoreDirective{}
+	var allDirs []*ignoreDirective
 	for _, pkg := range pkgs {
 		sum.Packages++
 		sum.Files += len(pkg.Files)
-
-		// file name -> directives
-		ignores := map[string][]*ignoreDirective{}
 		for _, f := range pkg.Files {
-			ignores[f.Name] = parseIgnores(pkg.Fset, f)
-		}
-
-		var findings []Finding
-		for _, r := range rules {
-			findings = append(findings, r.Check(pkg)...)
-		}
-		for _, f := range findings {
-			suppressed := false
-			for _, d := range ignores[f.Pos.Filename] {
-				if d.rule == f.Rule && d.target == f.Pos.Line && d.reason != "" {
-					d.used = true
-					suppressed = true
-				}
-			}
-			if suppressed {
-				sum.Suppressed++
-				continue
-			}
-			out = append(out, f)
-		}
-
-		for _, f := range pkg.Files {
-			for _, d := range ignores[f.Name] {
-				switch {
-				case d.rule == "":
-					out = append(out, Finding{Pos: d.pos, Rule: IgnoreRule,
-						Msg: "//lint:ignore needs a rule name and a non-empty reason"})
-				case !known[d.rule]:
-					out = append(out, Finding{Pos: d.pos, Rule: IgnoreRule,
-						Msg: fmt.Sprintf("//lint:ignore names unknown rule %q", d.rule)})
-				case d.reason == "":
-					out = append(out, Finding{Pos: d.pos, Rule: IgnoreRule,
-						Msg: fmt.Sprintf("//lint:ignore %s needs a non-empty reason", d.rule)})
-				case !d.used:
-					out = append(out, Finding{Pos: d.pos, Rule: IgnoreRule,
-						Msg: fmt.Sprintf("stale //lint:ignore: no %s finding on line %d", d.rule, d.target)})
-				}
-			}
+			ds := parseIgnores(pkg.Fset, f)
+			ignores[f.Name] = append(ignores[f.Name], ds...)
+			allDirs = append(allDirs, ds...)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+
+	var raw []Finding
+	for _, pkg := range pkgs {
+		for _, r := range rules {
+			raw = append(raw, r.Check(pkg)...)
+		}
+	}
+	var out []Finding
+	if len(progRules) > 0 {
+		prog, misuse := NewProgram(pkgs)
+		out = append(out, misuse...) // //lint:root misuse: unsuppressible
+		for _, pr := range progRules {
+			raw = append(raw, pr.CheckProgram(prog)...)
+		}
+	}
+
+	for _, f := range raw {
+		suppressed := false
+		for _, d := range ignores[f.Pos.Filename] {
+			if d.rule == f.Rule && d.target == f.Pos.Line && d.reason != "" {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if suppressed {
+			sum.Suppressed++
+			continue
+		}
+		out = append(out, f)
+	}
+
+	for _, d := range allDirs {
+		res.Directives = append(res.Directives, Directive{
+			Pos: d.pos, Target: d.target, Rule: d.rule, Reason: d.reason,
+		})
+		switch {
+		case d.rule == "":
+			out = append(out, Finding{Pos: d.pos, Rule: IgnoreRule,
+				Msg: "//lint:ignore needs a rule name and a non-empty reason"})
+		case !known[d.rule]:
+			out = append(out, Finding{Pos: d.pos, Rule: IgnoreRule,
+				Msg: fmt.Sprintf("//lint:ignore names unknown rule %q", d.rule)})
+		case d.reason == "":
+			out = append(out, Finding{Pos: d.pos, Rule: IgnoreRule,
+				Msg: fmt.Sprintf("//lint:ignore %s needs a non-empty reason", d.rule)})
+		case !d.used:
+			out = append(out, Finding{Pos: d.pos, Rule: IgnoreRule,
+				Msg: fmt.Sprintf("stale //lint:ignore: no %s finding on line %d", d.rule, d.target)})
+		}
+	}
+	sortFindings(out)
+	sortFindings(raw)
+	res.Findings = out
+	res.Raw = raw
+	sum.Reported = len(out)
+	return res
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
-	sum.Reported = len(out)
-	return out, sum
 }
 
 // --- shared AST/type helpers used by the rules ---
@@ -262,6 +324,26 @@ func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
 			return true
 		}
 		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// walkNodeBody walks one call-graph node's body in source order with an
+// ancestor stack, without descending into nested function literals —
+// those are nodes of their own and are analyzed only if reachable
+// themselves.
+func walkNodeBody(body ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		if _, isLit := n.(*ast.FuncLit); isLit && n != body {
+			return false // creation site visited, body pruned
+		}
 		stack = append(stack, n)
 		return true
 	})

@@ -121,6 +121,16 @@ func (l *Loader) Load(dir string) (*Package, error) {
 	return l.load(path)
 }
 
+// LoadPath loads a module-internal package by import path. Fixture
+// tests use it to analyze a real tree package (e.g. internal/meter)
+// alongside an in-memory fixture: the loader's cache guarantees both
+// see the same *types.Package objects, so cross-package dataflow
+// (parameter identity, interface satisfaction) resolves exactly as it
+// does in a full tree run.
+func (l *Loader) LoadPath(importPath string) (*Package, error) {
+	return l.load(importPath)
+}
+
 func (l *Loader) load(importPath string) (*Package, error) {
 	if p, ok := l.pkgs[importPath]; ok {
 		return p, nil

@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrder is the deadlock-hygiene rule and the precondition for the
+// striped memo cache on the ROADMAP: once the per-process cache shards
+// its lock, any inconsistent acquisition order in the tree becomes a
+// real deadlock instead of a latent one. Three invariants, all derived
+// from the module-wide call graph:
+//
+//   - acquisition order between lock classes is globally consistent: if
+//     any code path locks A then B, no path may lock B then A (reported
+//     for every edge participating in a cycle);
+//   - no lock is held across a call that may transitively reach a
+//     device.Run implementation — a campaign can run for seconds, and a
+//     lock held that long serializes readers behind the measurement
+//     (exactly the fleet-coordinator bug this rule's first sweep found);
+//   - no lock is held across a channel operation, which couples lock
+//     hold times to goroutine scheduling.
+//
+// A lock class is a mutex location, not an instance: the field
+// memo.Cache.mu is one class across all caches, a package-level mutex is
+// its own class, a function-local mutex is scoped to its function. The
+// scan is linear per function body (defer Unlock pins the lock to the
+// function's end); lock state is not tracked across calls.
+type LockOrder struct{}
+
+func (LockOrder) Name() string { return "lockorder" }
+
+func (LockOrder) Doc() string {
+	return "mutex acquisition order must be globally consistent; no lock held across device.Run calls or channel ops"
+}
+
+func (LockOrder) Check(pkg *Package) []Finding { return nil }
+
+// lockClass identifies one mutex location.
+type lockClass string
+
+// lockEdge is a witnessed "acquired b while holding a" pair.
+type lockEdge struct {
+	from, to lockClass
+	pkg      *Package
+	at       ast.Node // the inner Lock call
+}
+
+func (LockOrder) CheckProgram(prog *Program) []Finding {
+	// Nodes from which a device.Run implementation is reachable: a call
+	// with any such target must not happen under a lock.
+	runImpls := deviceRunRoots(prog)
+	reachesRun := prog.Graph.CanReach(runImpls)
+
+	var out []Finding
+	var edges []lockEdge
+	for _, n := range prog.Graph.Nodes {
+		fs, es := scanLocks(n, prog, reachesRun)
+		out = append(out, fs...)
+		edges = append(edges, es...)
+	}
+	out = append(out, checkLockCycles(edges)...)
+	return out
+}
+
+// heldLock is one acquisition in flight during the linear scan.
+type heldLock struct {
+	class    lockClass
+	deferred bool // released by defer: held to function end
+}
+
+// scanLocks walks one function body in source order, tracking held
+// locks, and returns findings plus the order edges it witnessed.
+func scanLocks(n *Node, prog *Program, reachesRun map[*Node]bool) ([]Finding, []lockEdge) {
+	pkg := n.Pkg
+	var out []Finding
+	var edges []lockEdge
+	var held []heldLock
+	report := func(at ast.Node, format string, args ...any) {
+		out = append(out, pkg.findingf(at, "lockorder", format, args...))
+	}
+	holding := func() lockClass { return held[len(held)-1].class }
+	walkNodeBody(n.Body, func(nd ast.Node, stack []ast.Node) {
+		switch x := nd.(type) {
+		case *ast.CallExpr:
+			class, op := mutexOp(pkg, n, x)
+			switch op {
+			case "Lock", "RLock", "TryLock", "TryRLock":
+				if len(held) > 0 {
+					if holding() == class {
+						report(x, "re-acquiring %s while already holding it self-deadlocks (RLock upgrades included)", class)
+					} else {
+						edges = append(edges, lockEdge{from: holding(), to: class, pkg: pkg, at: x})
+					}
+				}
+				held = append(held, heldLock{class: class, deferred: insideDefer(stack)})
+			case "Unlock", "RUnlock":
+				// Release the most recent non-deferred acquisition of
+				// this class; a defer pins it to the function's end.
+				if insideDefer(stack) {
+					break
+				}
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i].class == class && !held[i].deferred {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			default:
+				if len(held) == 0 {
+					break
+				}
+				for _, t := range prog.Graph.CallTargets[x] {
+					if reachesRun[t] {
+						report(x, "call to %s while holding %s may reach device.Run; a measurement can run for seconds, release the lock around it", t, holding())
+						break
+					}
+				}
+				if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+					if b, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "close" {
+						report(x, "close while holding %s couples lock hold time to goroutine scheduling; close after unlocking", holding())
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if len(held) > 0 {
+				report(x, "channel send while holding %s couples lock hold time to goroutine scheduling", holding())
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && len(held) > 0 {
+				report(x, "channel receive while holding %s can block indefinitely under the lock", holding())
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 {
+				report(x, "select while holding %s can block indefinitely under the lock", holding())
+			}
+		}
+	})
+	return out, edges
+}
+
+// insideDefer reports whether the ancestor stack passes through a defer
+// statement.
+func insideDefer(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// mutexOp recognizes sync.Mutex / sync.RWMutex method calls (including
+// through embedding) and returns the lock class and operation name.
+func mutexOp(pkg *Package, n *Node, call *ast.CallExpr) (lockClass, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return "", ""
+	}
+	m, ok := s.Obj().(*types.Func)
+	if !ok || m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	recv, _ := m.Type().(*types.Signature)
+	if recv == nil || recv.Recv() == nil {
+		return "", ""
+	}
+	rt := recv.Recv().Type()
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	name := types.TypeString(rt, nil)
+	if name != "sync.Mutex" && name != "sync.RWMutex" {
+		return "", ""
+	}
+	return classify(pkg, n, sel.X), sel.Sel.Name
+}
+
+// classify names the lock class of the mutex-valued receiver
+// expression: owner-type field ("memo.Cache.mu"), package-level
+// variable ("dense.poolMu"), or function-local ("fleet.run.mu").
+func classify(pkg *Package, n *Node, recv ast.Expr) lockClass {
+	switch x := ast.Unparen(recv).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pkg.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			t := s.Recv()
+			if p, isPtr := t.(*types.Pointer); isPtr {
+				t = p.Elem()
+			}
+			if named, isNamed := t.(*types.Named); isNamed && named.Obj().Pkg() != nil {
+				return lockClass(fmt.Sprintf("%s.%s.%s",
+					shortPath(named.Obj().Pkg().Path()), named.Obj().Name(), x.Sel.Name))
+			}
+		}
+		if id, isIdent := x.X.(*ast.Ident); isIdent {
+			if _, isPkg := pkg.Info.Uses[id].(*types.PkgName); isPkg {
+				if obj := pkg.Info.Uses[x.Sel]; obj != nil && obj.Pkg() != nil {
+					return lockClass(shortPath(obj.Pkg().Path()) + "." + x.Sel.Name)
+				}
+			}
+		}
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[x].(*types.Var); ok {
+			if isPackageLevelVar(v) {
+				return lockClass(shortPath(v.Pkg().Path()) + "." + v.Name())
+			}
+			return lockClass(n.String() + "." + v.Name())
+		}
+	}
+	// Embedded mutex promoted through the owner type (c.Lock()), or an
+	// expression we cannot name precisely: fall back to the static type.
+	if tv, ok := pkg.Info.Types[recv]; ok && tv.Type != nil {
+		t := tv.Type
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		return lockClass(types.TypeString(t, func(p *types.Package) string { return shortPath(p.Path()) }))
+	}
+	return lockClass(n.String() + ".<mutex>")
+}
+
+// checkLockCycles reports every witnessed edge that participates in a
+// cycle of the global acquisition-order graph: A→B is a finding iff B
+// can (transitively) be held while re-acquiring A somewhere else.
+func checkLockCycles(edges []lockEdge) []Finding {
+	adj := map[lockClass]map[lockClass]bool{}
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = map[lockClass]bool{}
+		}
+		adj[e.from][e.to] = true
+	}
+	reaches := func(from, to lockClass) bool {
+		seen := map[lockClass]bool{from: true}
+		queue := []lockClass{from}
+		for len(queue) > 0 {
+			c := queue[0]
+			queue = queue[1:]
+			if c == to {
+				return true
+			}
+			var next []lockClass
+			for m := range adj[c] {
+				if !seen[m] {
+					seen[m] = true
+					next = append(next, m)
+				}
+			}
+			sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+			queue = append(queue, next...)
+		}
+		return false
+	}
+	var out []Finding
+	for _, e := range edges {
+		if reaches(e.to, e.from) {
+			out = append(out, e.pkg.findingf(e.at, "lockorder",
+				"acquiring %s while holding %s inverts the global lock order (elsewhere %s is held first); pick one order",
+				e.to, e.from, e.to))
+		}
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package lint
+
+import "testing"
+
+func TestRootDirectiveOutsideDocComment(t *testing.T) {
+	src := `package rootfix
+
+func f() {
+	//lint:root hotalloc a mark inside a body is misplaced
+	_ = 1
+}
+`
+	checkFixture(t, []Rule{HotAlloc{}}, "energyprop/internal/rootfix", src, []want{
+		{line: 4, rule: "ignore", substr: "must appear in a function's doc comment"},
+	})
+}
+
+func TestRootDirectiveNonRootableRule(t *testing.T) {
+	src := `package rootfix
+
+//lint:root seedflow seed checks have no roots
+func f() {}
+`
+	checkFixture(t, []Rule{HotAlloc{}}, "energyprop/internal/rootfix", src, []want{
+		{line: 3, rule: "ignore", substr: "needs a rootable rule"},
+	})
+}
+
+func TestRootDirectiveEmptyReason(t *testing.T) {
+	src := `package rootfix
+
+//lint:root hotalloc
+func f() {}
+`
+	checkFixture(t, []Rule{HotAlloc{}}, "energyprop/internal/rootfix", src, []want{
+		{line: 3, rule: "ignore", substr: "needs a non-empty reason"},
+	})
+}
+
+func TestRootMisuseIsNotSuppressible(t *testing.T) {
+	// Misuse findings report under the "ignore" pseudo-rule, which has no
+	// suppression channel: an ignore directive cannot silence them.
+	src := `package rootfix
+
+//lint:ignore ignore trying to silence the auditor
+//lint:root hotalloc
+func f() {}
+`
+	checkFixture(t, []Rule{HotAlloc{}}, "energyprop/internal/rootfix", src, []want{
+		{line: 3, rule: "ignore", substr: `unknown rule "ignore"`},
+		{line: 4, rule: "ignore", substr: "needs a non-empty reason"},
+	})
+}

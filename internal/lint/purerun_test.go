@@ -1,0 +1,157 @@
+package lint
+
+import "testing"
+
+// purerunDevicePrelude is a minimal device.Device implementation whose
+// Run delegates to helpers — the rule must auto-root it the moment the
+// interface is satisfied.
+const purerunDevicePrelude = `package purefix
+
+import (
+	"context"
+
+	"energyprop/internal/device"
+)
+
+type dev struct{}
+
+func (dev) Name() string      { return "fake" }
+func (dev) Kind() string      { return "cpu" }
+func (dev) Spec() device.Spec { return device.Spec{} }
+
+func (dev) Configs(w device.Workload) ([]device.Config, error) { return nil, nil }
+
+`
+
+func TestPureRunFlagsTransitiveGlobalWrite(t *testing.T) {
+	// The violation sits two call hops below the Run implementation:
+	// Run -> record -> bump, with bump incrementing package state.
+	src := purerunDevicePrelude + `func (dev) Run(ctx context.Context, w device.Workload, c device.Config) (*device.Outcome, error) {
+	record()
+	return nil, nil
+}
+
+var runs int
+
+func record() { bump() }
+
+func bump() { runs++ }
+`
+	checkFixture(t, []Rule{PureRun{}}, "energyprop/internal/purefix", src, []want{
+		{line: 26, rule: "purerun", substr: "write to package-level purefix.runs"},
+	})
+}
+
+func TestPureRunAllowsPureHelpers(t *testing.T) {
+	// Receiver-field mutation, locals, and cancellation receives are the
+	// measurement itself, not impurity.
+	src := `package purefix
+
+import (
+	"context"
+
+	"energyprop/internal/device"
+)
+
+type dev struct{ calls int }
+
+func (d *dev) Name() string     { return "fake" }
+func (d *dev) Kind() string     { return "cpu" }
+func (d *dev) Spec() device.Spec { return device.Spec{} }
+
+func (d *dev) Configs(w device.Workload) ([]device.Config, error) { return nil, nil }
+
+func (d *dev) Run(ctx context.Context, w device.Workload, c device.Config) (*device.Outcome, error) {
+	d.calls++
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	default:
+	}
+	sum := 0
+	for i := 0; i < 4; i++ {
+		sum += i
+	}
+	_ = sum
+	return nil, nil
+}
+`
+	checkFixture(t, []Rule{PureRun{}}, "energyprop/internal/purefix", src, nil)
+}
+
+func TestPureRunFlagsClockAndLogging(t *testing.T) {
+	// Clock reads and logging are flagged wherever they sit below a Run
+	// implementation — here two hops down (Run -> stamp -> tick).
+	src := `package purefix
+
+import (
+	"context"
+	"log"
+	"time"
+
+	"energyprop/internal/device"
+)
+
+type dev struct{}
+
+func (dev) Name() string      { return "fake" }
+func (dev) Kind() string      { return "cpu" }
+func (dev) Spec() device.Spec { return device.Spec{} }
+
+func (dev) Configs(w device.Workload) ([]device.Config, error) { return nil, nil }
+
+func (dev) Run(ctx context.Context, w device.Workload, c device.Config) (*device.Outcome, error) {
+	stamp()
+	note()
+	return nil, nil
+}
+
+func stamp() int64 { return tick() }
+
+func tick() int64 { return time.Now().UnixNano() }
+
+func note() { log.Println("measuring") }
+`
+	checkFixture(t, []Rule{PureRun{}}, "energyprop/internal/purefix", src, []want{
+		{line: 27, rule: "purerun", substr: "time.Now inside a measurement path"},
+		{line: 29, rule: "purerun", substr: "log.Println inside a measurement path"},
+	})
+}
+
+func TestPureRunRootDirective(t *testing.T) {
+	// A function that is not a device.Run implementation becomes a root
+	// through //lint:root purerun; the violation is one hop below it.
+	src := `package purefix
+
+var total int
+
+//lint:root purerun the sampling loop is a measurement entry point
+func Sample() { accumulate() }
+
+func accumulate() { total++ }
+
+func Untracked() { total++ }
+`
+	checkFixture(t, []Rule{PureRun{}}, "energyprop/internal/purefix", src, []want{
+		{line: 8, rule: "purerun", substr: "write to package-level purefix.total"},
+	})
+}
+
+func TestPureRunSuppression(t *testing.T) {
+	src := purerunDevicePrelude + `func (dev) Run(ctx context.Context, w device.Workload, c device.Config) (*device.Outcome, error) {
+	record()
+	return nil, nil
+}
+
+var runs int
+
+func record() {
+	//lint:ignore purerun fixture exercises an audited measurement-path suppression
+	runs++
+}
+`
+	sum := checkFixture(t, []Rule{PureRun{}}, "energyprop/internal/purefix", src, nil)
+	if sum.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1", sum.Suppressed)
+	}
+}

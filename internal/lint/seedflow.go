@@ -23,32 +23,44 @@ var seedFlowScoped = map[string]bool{
 	"energyprop/internal/fleet":    true,
 }
 
-// seedFlowStrict is the subset of scoped packages where the device-generic
-// seed helper is the only blessed source: campaign and service code sit
-// above the device abstraction, so any rand generator they build must get
-// its seed through a seed-named mixing helper (device.ConfigSeed). Meter
-// and device stay on the lenient rule — they are the layers that *receive*
+// seedFlowStrict is the subset of scoped packages where device.ConfigSeed
+// is the only blessed source: campaign and service code sit above the
+// device abstraction, so any generator seed they hand off must carry
+// taint from the hashed (seed, config) identity. Meter, device, fault,
+// and fleet stay on the lenient rule — they are the layers that *receive*
 // an already-derived seed value.
 var seedFlowStrict = map[string]bool{
 	"energyprop/internal/campaign": true,
 	"energyprop/internal/service":  true,
 }
 
-// SeedFlow checks that every rand.NewSource / rand.NewPCG argument in
-// measurement-pipeline code derives from a seed value (an identifier,
-// field, or helper whose name mentions "seed"), never references the
-// index variable of an enclosing loop, and — in the strict packages
-// above the device abstraction — flows through a seed-derivation helper
-// call such as device.ConfigSeed rather than a raw seed field. Its
-// strict mode also covers the memoization layer: memo.Cache keys in the
-// cache-key-scoped packages must flow through a canonical digest helper
-// (memo.Digest or a *Key wrapper), never fmt.Sprintf — see cachekey.go.
+// SeedFlow (v2) checks seed hygiene with whole-program taint instead of
+// name matching. Sinks are the rand constructors (rand.NewSource,
+// rand.NewPCG) plus every seed conduit the dataflow engine discovers —
+// a seed-named parameter whose value transitively reaches a rand
+// constructor, e.g. meter.NewMeter's seed. At every sink or conduit
+// argument in the scoped packages:
+//
+//   - the argument must not derive from an enclosing loop variable
+//     (outside a seed-mixing helper call, whose job is folding identity
+//     into the hash);
+//   - in the strict packages, the argument must carry taint from
+//     device.ConfigSeed — through any chain of locals, struct fields,
+//     and helper returns. Laundering a raw seed through a seed-named
+//     local or helper no longer passes;
+//   - in the lenient packages, the v1 rule stands: the argument must at
+//     least visibly derive from seed-named material.
+//
+// The rule's strict mode also covers the memoization layer: memo.Cache
+// keys in the cache-key-scoped packages must flow through a canonical
+// digest helper (memo.Digest or a *Key wrapper), never fmt.Sprintf —
+// see cachekey.go.
 type SeedFlow struct{}
 
 func (SeedFlow) Name() string { return "seedflow" }
 
 func (SeedFlow) Doc() string {
-	return "rand seeds in measurement-pipeline code must derive from the hashed (seed, config) identity via device.ConfigSeed, never a loop index; memo.Cache keys must flow through memo.Digest, never fmt.Sprintf"
+	return "rand seeds (and seed-conduit arguments) in measurement-pipeline code must carry taint from device.ConfigSeed, never a loop index; memo.Cache keys must flow through memo.Digest, never fmt.Sprintf"
 }
 
 // seedSources are the math/rand constructors whose arguments carry seed
@@ -58,20 +70,65 @@ var seedSources = map[string]bool{
 	"NewPCG":    true, // math/rand/v2
 }
 
+// Check handles the per-package cache-key half of the rule; the seed
+// checks are interprocedural and live in CheckProgram.
 func (SeedFlow) Check(pkg *Package) []Finding {
-	var out []Finding
-	if seedFlowScoped[pkg.Path] {
-		out = append(out, checkSeedSources(pkg)...)
-	}
 	if cacheKeyScoped[pkg.Path] {
-		out = append(out, checkCacheKeys(pkg)...)
+		return checkCacheKeys(pkg)
+	}
+	return nil
+}
+
+func (SeedFlow) CheckProgram(prog *Program) []Finding {
+	anyScoped := false
+	for _, pkg := range prog.Pkgs {
+		if seedFlowScoped[pkg.Path] {
+			anyScoped = true
+			break
+		}
+	}
+	if !anyScoped {
+		return nil
+	}
+	st := computeSeedTaint(prog)
+	var out []Finding
+	for _, pkg := range prog.Pkgs {
+		if seedFlowScoped[pkg.Path] {
+			out = append(out, checkSeedSites(pkg, st)...)
+		}
 	}
 	return out
 }
 
-// checkSeedSources is the original seedflow walk: every rand seed in
-// scoped packages derives from seed-named material, never a loop index.
-func checkSeedSources(pkg *Package) []Finding {
+// seedSiteArgs returns the arguments of a call that carry seed material
+// into a generator, together with the sink's display name: every
+// argument of a rand constructor, or the conduit-parameter arguments of
+// a discovered conduit function.
+func seedSiteArgs(pkg *Package, call *ast.CallExpr, st *seedTaint) (string, []ast.Expr) {
+	if name, ok := randSeedSink(pkg, call); ok {
+		return "rand." + name, call.Args
+	}
+	callee := staticCallee(pkg, call)
+	idxs := st.conduits[callee]
+	if len(idxs) == 0 {
+		return "", nil
+	}
+	var args []ast.Expr
+	for _, i := range idxs {
+		if i < len(call.Args) {
+			args = append(args, call.Args[i])
+		}
+	}
+	name := callee.Name()
+	if callee.Pkg() != nil {
+		name = shortPath(callee.Pkg().Path()) + "." + name
+	}
+	return name, args
+}
+
+// checkSeedSites applies the loop-variable and taint checks to every
+// sink and conduit argument in one scoped package.
+func checkSeedSites(pkg *Package, st *seedTaint) []Finding {
 	var out []Finding
 	for _, f := range pkg.Files {
 		walkStack(f.AST, func(n ast.Node, stack []ast.Node) {
@@ -79,33 +136,31 @@ func checkSeedSources(pkg *Package) []Finding {
 			if !ok {
 				return
 			}
-			name, ok := pkgCall(pkg.Info, call, "math/rand")
-			if !ok {
-				if name, ok = pkgCall(pkg.Info, call, "math/rand/v2"); !ok {
-					return
-				}
-			}
-			if !seedSources[name] || len(call.Args) == 0 {
+			sink, args := seedSiteArgs(pkg, call, st)
+			if len(args) == 0 {
 				return
 			}
 			loopVars := enclosingLoopVars(pkg.Info, stack)
-			for _, arg := range call.Args {
+			for _, arg := range args {
 				if id := loopVarOutsideSeedHelper(pkg.Info, arg, loopVars); id != nil {
 					out = append(out, pkg.findingf(arg, "seedflow",
-						"seed for rand.%s derives from loop variable %q, making the record depend on sweep order; derive it from the hashed (seed, config) identity",
-						name, id.Name))
+						"seed for %s derives from loop variable %q, making the record depend on sweep order; derive it from the hashed (seed, config) identity",
+						sink, id.Name))
 					continue
 				}
-				if seedFlowStrict[pkg.Path] && !hasSeedHelperCall(arg) {
+				if st.exprBlessed(pkg, arg) {
+					continue
+				}
+				if seedFlowStrict[pkg.Path] {
 					out = append(out, pkg.findingf(arg, "seedflow",
-						"seed for rand.%s is %s, which bypasses the device-generic seed helper; derive it via device.ConfigSeed(seed, config) so every backend shares one seeding contract",
-						name, exprString(pkg.Fset, arg)))
+						"seed for %s is %s, which bypasses the device-generic seed helper: no taint from device.ConfigSeed(seed, config) reaches it, so the backends do not share one seeding contract",
+						sink, exprString(pkg.Fset, arg)))
 					continue
 				}
 				if !mentionsSeed(arg) {
 					out = append(out, pkg.findingf(arg, "seedflow",
-						"seed for rand.%s is %s, which does not derive from a campaign seed; thread the seed (e.g. via the hashed device.ConfigSeed helper) instead",
-						name, exprString(pkg.Fset, arg)))
+						"seed for %s is %s, which does not derive from a campaign seed; thread the seed (e.g. via the hashed device.ConfigSeed helper) instead",
+						sink, exprString(pkg.Fset, arg)))
 				}
 			}
 		})
@@ -169,25 +224,6 @@ func loopVarOutsideSeedHelper(info *types.Info, expr ast.Expr, objs map[types.Ob
 				found = id
 				return false
 			}
-		}
-		return true
-	})
-	return found
-}
-
-// hasSeedHelperCall reports whether the expression contains a call to a
-// seed-named derivation helper (device.ConfigSeed, configSeed, ...). In
-// strict packages this is the only sanctioned way to turn a campaign
-// seed into a generator seed.
-func hasSeedHelperCall(expr ast.Expr) bool {
-	found := false
-	ast.Inspect(expr, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		if c, ok := n.(*ast.CallExpr); ok && calleeMentionsSeed(c) {
-			found = true
-			return false
 		}
 		return true
 	})

@@ -103,31 +103,140 @@ func bad() *rand.Rand {
 }
 
 func TestSeedFlowAllowsSeedDerivedSources(t *testing.T) {
+	// v2 semantics: a helper is blessed because device.ConfigSeed's value
+	// actually flows through it, not because its name contains "seed".
+	// The loop value feeds the hash as identity input through the
+	// helper's arguments, which is the designed shape.
 	src := `package campaign
 
 import (
-	"hash/fnv"
 	"math/rand"
+
+	"energyprop/internal/device"
 )
 
-// configSeed mirrors the real helper: the hashed (seed, identity) mix.
-func configSeed(seed int64, bs, g, r int) int64 {
-	h := fnv.New64a()
-	_ = seed
-	return int64(h.Sum64()) ^ seed ^ int64(bs+g+r)
+type cfg struct{ bs int }
+
+func (cfg) Key() string    { return "bs" }
+func (cfg) String() string { return "(BS)" }
+
+// configSeed wraps the real derivation helper, so its result carries
+// taint from device.ConfigSeed.
+func configSeed(seed int64, c device.Config) int64 {
+	return device.ConfigSeed(seed, c)
 }
 
-func good(seed int64, configs []int) []*rand.Rand {
+func good(seed int64, configs []cfg) []*rand.Rand {
 	var out []*rand.Rand
-	for _, bs := range configs {
-		// Loop value feeds the hash through the helper, whose argument
-		// still carries the campaign seed: allowed.
-		out = append(out, rand.New(rand.NewSource(configSeed(seed, bs, 1, 1))))
+	for _, c := range configs {
+		out = append(out, rand.New(rand.NewSource(configSeed(seed, c))))
 	}
 	return out
 }
 `
 	checkFixture(t, []Rule{SeedFlow{}}, "energyprop/internal/campaign", src, nil)
+}
+
+func TestSeedFlowCatchesLaunderedSeeds(t *testing.T) {
+	// The exact hole v1 left open: a raw value laundered through a
+	// seed-named local and a seed-named helper passed the syntactic
+	// check. Under taint, blessing comes only from device.ConfigSeed's
+	// value flowing, whatever the names say.
+	src := `package campaign
+
+import "math/rand"
+
+// deriveSeed is seed-named but derives from nothing: v1 blessed it,
+// v2 does not.
+func deriveSeed(n int) int64 { return int64(n) * 7919 }
+
+func badHelper(idx int) *rand.Rand {
+	return rand.New(rand.NewSource(deriveSeed(idx)))
+}
+
+func badLocal(n int) *rand.Rand {
+	seed := int64(n) * 2654435761
+	return rand.New(rand.NewSource(seed))
+}
+
+type spec struct{ Seed int64 }
+
+func badField(n int) *rand.Rand {
+	s := spec{Seed: int64(n)}
+	return rand.New(rand.NewSource(s.Seed))
+}
+`
+	checkFixture(t, []Rule{SeedFlow{}}, "energyprop/internal/campaign", src, []want{
+		{line: 10, rule: "seedflow", substr: "bypasses the device-generic seed helper"},
+		{line: 15, rule: "seedflow", substr: "bypasses the device-generic seed helper"},
+		{line: 22, rule: "seedflow", substr: "bypasses the device-generic seed helper"},
+	})
+}
+
+func TestSeedFlowBlessingFlowsThroughFieldsAndHelpers(t *testing.T) {
+	// The inverse of the laundering test: once device.ConfigSeed's value
+	// enters, it stays blessed through a local, a struct field, and a
+	// helper return — a ≥2-hop chain (good → pack → unpack → sink arg).
+	src := `package campaign
+
+import (
+	"math/rand"
+
+	"energyprop/internal/device"
+)
+
+type cfg struct{}
+
+func (cfg) Key() string    { return "k" }
+func (cfg) String() string { return "k" }
+
+type box struct{ value int64 }
+
+func pack(seed int64, c device.Config) box {
+	derived := device.ConfigSeed(seed, c)
+	return box{value: derived}
+}
+
+func unpack(b box) int64 { return b.value }
+
+func good(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(unpack(pack(seed, cfg{}))))
+}
+`
+	checkFixture(t, []Rule{SeedFlow{}}, "energyprop/internal/campaign", src, nil)
+}
+
+func TestSeedFlowChecksCrossPackageConduits(t *testing.T) {
+	// meter.NewMeter(idle, seed) never touches rand in campaign code —
+	// the constructor two packages away does. With the real meter package
+	// analyzed alongside the fixture, the dataflow engine discovers
+	// NewMeter's seed parameter as a conduit (it flows to rand.NewSource
+	// inside the meter), and holds campaign call sites to the strict
+	// rule.
+	src := `package campaign
+
+import (
+	"energyprop/internal/device"
+	"energyprop/internal/meter"
+)
+
+type cfg struct{}
+
+func (cfg) Key() string    { return "k" }
+func (cfg) String() string { return "k" }
+
+func bad(idle float64, n int) *meter.Meter {
+	return meter.NewMeter(idle, int64(n)*7919)
+}
+
+func good(idle float64, seed int64) *meter.Meter {
+	return meter.NewMeter(idle, device.ConfigSeed(seed, cfg{}))
+}
+`
+	checkFixturePkgs(t, []Rule{SeedFlow{}}, "energyprop/internal/campaign", src,
+		[]string{"energyprop/internal/meter"}, []want{
+			{line: 14, rule: "seedflow", substr: "seed for meter.NewMeter"},
+		})
 }
 
 func TestSeedFlowIgnoresOutOfScopePackages(t *testing.T) {

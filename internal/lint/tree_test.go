@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -31,6 +32,41 @@ func TestTreeIsClean(t *testing.T) {
 	}
 	t.Logf("epvet: %d packages, %d files, %d findings, %d suppressed",
 		sum.Packages, sum.Files, sum.Reported, sum.Suppressed)
+}
+
+// TestSuppressionsAreMinimal audits every //lint:ignore directive in
+// the real tree: each one must name a rule that actually fires on its
+// target line (checked against the raw, pre-suppression findings) and
+// carry a non-empty reason. A suppression that survives a fix to the
+// code it was excusing fails here — suppressions cannot rot silently.
+func TestSuppressionsAreMinimal(t *testing.T) {
+	root, module, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := NewLoader(root, module).LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunAll(pkgs, AllRules())
+	rawAt := map[string]bool{}
+	for _, f := range res.Raw {
+		rawAt[fmt.Sprintf("%s:%d:%s", f.Pos.Filename, f.Pos.Line, f.Rule)] = true
+	}
+	if len(res.Directives) == 0 {
+		t.Fatal("no //lint:ignore directives found; the directive scanner is broken")
+	}
+	for _, d := range res.Directives {
+		if d.Reason == "" {
+			t.Errorf("%s: //lint:ignore %s has no reason", d.Pos, d.Rule)
+			continue
+		}
+		if !rawAt[fmt.Sprintf("%s:%d:%s", d.Pos.Filename, d.Target, d.Rule)] {
+			t.Errorf("%s: //lint:ignore %s suppresses nothing: no raw %s finding on line %d — delete the stale directive",
+				d.Pos, d.Rule, d.Rule, d.Target)
+		}
+	}
+	t.Logf("audited %d suppressions against %d raw findings", len(res.Directives), len(res.Raw))
 }
 
 // TestModuleStaysStdlibOnly pins the repo's no-dependencies invariant:

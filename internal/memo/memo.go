@@ -35,6 +35,8 @@ import (
 // field bytes, hex-encoded. Length prefixes make the encoding
 // injective — no two distinct field lists produce the same digest — so
 // a digest-addressed cache can never alias two different measurements.
+//
+//lint:root hotalloc runs once per cache lookup on the serving path; key building must not grow the per-request allocation budget
 func Digest(parts ...string) string {
 	h := sha256.New()
 	var lenBuf [8]byte

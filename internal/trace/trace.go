@@ -52,6 +52,8 @@ func (t *Trace) Duration() float64 {
 }
 
 // Energy integrates the trace with the trapezoidal rule.
+//
+//lint:root hotalloc trace integration runs once per measured point inside the stats loop
 func (t *Trace) Energy() float64 {
 	e := 0.0
 	for i := 1; i < len(t.Samples); i++ {
