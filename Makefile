@@ -22,11 +22,14 @@ lint:
 
 # bench-baseline snapshots the whole benchmark suite (one iteration per
 # benchmark keeps it fast; allocs/op is iteration-count independent) as
-# BENCH_0.json via cmd/benchjson. Commit the refreshed file when a PR
-# intentionally moves a hot path; CI re-emits it as an artifact so any
+# BENCH_1.json via cmd/benchjson. BENCH_0.json is the previous committed
+# baseline and stays untouched, so `benchjson -diff BENCH_0.json
+# BENCH_1.json` shows the intentional movement between the two committed
+# snapshots. Commit the refreshed BENCH_1.json when a PR intentionally
+# moves a hot path; CI re-emits the current run as an artifact so any
 # drift is visible in review.
 bench-baseline:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./... | $(GO) run ./cmd/benchjson > BENCH_0.json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./... | $(GO) run ./cmd/benchjson > BENCH_1.json
 
 # cache-sanity runs the timing-gated warm-vs-cold memoization guard
 # (skipped by default because it is wall-clock based).

@@ -214,8 +214,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // runDeviceCampaign measures every configuration of a registered device
-// through the same campaign.RunConfigs path the built-in experiments and
-// the measurement service use, and tabulates the results. reps > 1
+// through the same streaming campaign engine the built-in experiments
+// and the measurement service use, and tabulates the results. reps > 1
 // reruns the campaign against the attached point cache: warm reruns are
 // byte-identical (the points are pure functions of device, workload,
 // config, and seed) and skip every device run and meter loop.
@@ -264,18 +264,15 @@ func runDeviceCampaign(name, app string, n, products, reps, retries int, plan fa
 		}
 		spec.Executor = fleet.Executor{Coord: coord}
 	}
-	var res *campaign.Result
-	for r := 0; r < reps; r++ {
-		res, err = campaign.RunConfigs(context.Background(), dev, w, configs, spec)
-		if err != nil {
+	// Warm reps stream into Discard: they exist to exercise the point
+	// cache, not to tabulate twice.
+	for r := 0; r < reps-1; r++ {
+		if err := campaign.Stream(context.Background(), dev, w, configs, spec, campaign.Discard); err != nil {
 			return nil, err
 		}
 	}
-	if chaos && len(res.Points) == 0 {
-		return nil, fmt.Errorf("all %d points failed within the retry budget", len(res.Failed))
-	}
 	t := &experiment.Table{
-		Title:   fmt.Sprintf("Measured campaign on %s (%s), %s", res.Device, res.Kind, w),
+		Title:   fmt.Sprintf("Measured campaign on %s (%s), %s", dev.Spec().CatalogName, dev.Kind(), w),
 		Columns: []string{"config", "key", "seconds", "measured_j", "ci_halfwidth_j", "runs"},
 	}
 	// The attempts column only appears in chaos mode so fault-free table
@@ -283,7 +280,19 @@ func runDeviceCampaign(name, app string, n, products, reps, retries int, plan fa
 	if chaos {
 		t.Columns = append(t.Columns, "attempts")
 	}
-	for _, p := range res.Points {
+	// The final rep streams straight into the table: rows land in
+	// configuration order as points commit, failures are buffered because
+	// notes trail the rows.
+	survivors, totalRuns := 0, 0
+	var failed []campaign.PointFailure
+	sink := campaign.FuncSink{AcceptFunc: func(o campaign.PointOutcome) error {
+		if o.Failure != nil {
+			failed = append(failed, *o.Failure)
+			return nil
+		}
+		p := o.Report
+		survivors++
+		totalRuns += p.Runs
 		row := []string{p.Config.String(), p.Config.Key(),
 			fmt.Sprintf("%.4f", p.TrueSeconds),
 			fmt.Sprintf("%.1f", p.MeasuredEnergyJ),
@@ -293,15 +302,22 @@ func runDeviceCampaign(name, app string, n, products, reps, retries int, plan fa
 			row = append(row, fmt.Sprintf("%d", p.Attempts))
 		}
 		t.AddRow(row...)
+		return nil
+	}}
+	if err := campaign.Stream(context.Background(), dev, w, configs, spec, sink); err != nil {
+		return nil, err
+	}
+	if chaos && survivors == 0 {
+		return nil, fmt.Errorf("all %d points failed within the retry budget", len(failed))
 	}
 	t.AddNote("campaign cost: %d total runs across %d configurations (seed %d)",
-		res.TotalRuns, len(res.Points), opt.Seed)
+		totalRuns, survivors, opt.Seed)
 	if reps > 1 {
 		s := spec.Cache.Stats()
 		t.AddNote("cache over %d reps: hits=%d misses=%d dedups=%d evictions=%d",
 			reps, s.Hits, s.Misses, s.Dedups, s.Evictions)
 	}
-	for _, f := range res.Failed {
+	for _, f := range failed {
 		t.AddNote("failed: %s attempts=%d err=%v", f.Config.Key(), f.Attempts, f.Err)
 	}
 	if injector != nil {

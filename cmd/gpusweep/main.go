@@ -230,51 +230,113 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
-	sweep := func() ([]sweepPoint, error) {
+	// The sweep streams: outcomes are committed in configuration order
+	// the moment their turn completes, so CSV rows, the JSON record, and
+	// the Pareto front build incrementally instead of materializing a
+	// []sweepPoint first. Warm -reps drive the cache through a
+	// discarding commit; only the final rep emits.
+	runRep := func(commit func(int, sweepPoint) error) error {
 		if coord != nil {
-			return fleet.Map(ctx, coord, len(configs), measure)
+			return fleet.Each(ctx, coord, len(configs), measure, commit)
 		}
-		return parallel.Map(ctx, *workers, len(configs), func(ctx context.Context, i int) (sweepPoint, error) {
+		return parallel.Each(ctx, *workers, len(configs), func(ctx context.Context, i int) (sweepPoint, error) {
 			return measure(ctx, dev, i)
-		})
+		}, commit)
 	}
-	var points []sweepPoint
-	for r := 0; r < *reps; r++ {
-		points, err = sweep()
-		if err != nil {
+	for r := 0; r < *reps-1; r++ {
+		if err := runRep(func(int, sweepPoint) error { return nil }); err != nil {
 			cli.Errorf(stderr, "gpusweep: %v\n", err)
 			return 1
 		}
 	}
 
+	// The optional JSON record streams too. An aborted sweep removes the
+	// partial file: a truncated record must not pose as a campaign.
+	var jsonFile *os.File
+	var cw *store.CampaignWriter
 	if *jsonOut != "" {
-		if err := saveJSON(*jsonOut, dev, workload, configs, points, plan.Enabled() || *retries > 0); err != nil {
+		jsonFile, err = os.Create(*jsonOut)
+		if err == nil {
+			cw, err = store.NewCampaignWriter(jsonFile, dev.Spec().CatalogName, dev.Kind(), workload)
+		}
+		if err != nil {
 			cli.Errorf(stderr, "gpusweep: writing %s: %v\n", *jsonOut, err)
 			return 1
 		}
 	}
+	// Attempt counts are provenance, not measurement, and only enter the
+	// record when the fault/retry machinery is active so fault-free
+	// records stay byte-identical to earlier versions.
+	withAttempts := plan.Enabled() || *retries > 0
 
 	out.Println("config,seconds,dyn_power_w,dyn_energy_j")
 	front := make([]pareto.Point, 0, len(configs))
-	survivors, failed := 0, 0
-	for i, p := range points {
+	// Failed configurations degrade to comment rows so downstream CSV
+	// consumers still parse the survivors; they are buffered here because
+	// comments trail the data section.
+	type failedRow struct {
+		key      string
+		attempts int
+		err      error
+	}
+	var failedRows []failedRow
+	survivors := 0
+	emit := func(i int, p sweepPoint) error {
+		recAttempts := 0
+		if withAttempts {
+			recAttempts = p.attempts
+		}
 		if p.err != nil {
-			failed++
-			continue
+			failedRows = append(failedRows, failedRow{key: configs[i].Key(), attempts: p.attempts, err: p.err})
+			if cw != nil {
+				return cw.WriteFailed(store.FailedPoint{
+					Config:   configs[i].Key(),
+					Label:    configs[i].String(),
+					Attempts: recAttempts,
+					Error:    p.err.Error(),
+				})
+			}
+			return nil
 		}
 		survivors++
 		o := p.outcome
 		out.Printf("%s,%.4f,%.2f,%.1f\n",
 			configs[i].Key(), o.TrueSeconds, o.TrueEnergyJ/o.TrueSeconds, o.TrueEnergyJ)
 		front = append(front, pareto.Point{Label: configs[i].String(), Time: o.TrueSeconds, Energy: o.TrueEnergyJ})
-	}
-	// Failed configurations degrade to comment rows so downstream CSV
-	// consumers still parse the survivors, and the failure provenance
-	// (attempt count, final error) stays in the artifact.
-	for i, p := range points {
-		if p.err != nil {
-			out.Printf("# failed: %s attempts=%d err=%v\n", configs[i].Key(), p.attempts, p.err)
+		if cw != nil {
+			return cw.WritePoint(store.MeasuredPoint{
+				Config:     configs[i].Key(),
+				Label:      configs[i].String(),
+				Seconds:    o.TrueSeconds,
+				DynPowerW:  o.TrueEnergyJ / o.TrueSeconds,
+				DynEnergyJ: o.TrueEnergyJ,
+				Attempts:   recAttempts,
+			})
 		}
+		return nil
+	}
+	if err := runRep(emit); err != nil {
+		if jsonFile != nil {
+			_ = jsonFile.Close()    //lint:ignore droppederr the campaign already failed; the partial file is removed next
+			_ = os.Remove(*jsonOut) //lint:ignore droppederr best-effort cleanup of a partial record on the error exit
+		}
+		cli.Errorf(stderr, "gpusweep: %v\n", err)
+		return 1
+	}
+	if cw != nil {
+		err := cw.Close()
+		if cerr := jsonFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			_ = os.Remove(*jsonOut) //lint:ignore droppederr best-effort cleanup of a partial record on the error exit
+			cli.Errorf(stderr, "gpusweep: writing %s: %v\n", *jsonOut, err)
+			return 1
+		}
+	}
+	failed := len(failedRows)
+	for _, f := range failedRows {
+		out.Printf("# failed: %s attempts=%d err=%v\n", f.key, f.attempts, f.err)
 	}
 	if injector != nil {
 		s := injector.Stats()
@@ -388,51 +450,4 @@ func outcomeKey(dev device.Device, w device.Workload, c device.Config) string {
 		w.App, strconv.Itoa(w.N), strconv.Itoa(w.Products),
 		c.Key(),
 	)
-}
-
-// saveJSON persists the model-true sweep as a device-generic campaign
-// record through internal/store. Attempt counts are provenance, not
-// measurement, and are only persisted when the fault/retry machinery is
-// active (withAttempts) so fault-free records stay byte-identical to
-// earlier versions.
-func saveJSON(path string, dev device.Device, w device.Workload, configs []device.Config, points []sweepPoint, withAttempts bool) error {
-	rec := &store.CampaignRecord{
-		Version:  store.FormatVersion,
-		Device:   dev.Spec().CatalogName,
-		Kind:     dev.Kind(),
-		Workload: w,
-	}
-	for i, p := range points {
-		attempts := 0
-		if withAttempts {
-			attempts = p.attempts
-		}
-		if p.err != nil {
-			rec.Failed = append(rec.Failed, store.FailedPoint{
-				Config:   configs[i].Key(),
-				Label:    configs[i].String(),
-				Attempts: attempts,
-				Error:    p.err.Error(),
-			})
-			continue
-		}
-		o := p.outcome
-		rec.Results = append(rec.Results, store.MeasuredPoint{
-			Config:     configs[i].Key(),
-			Label:      configs[i].String(),
-			Seconds:    o.TrueSeconds,
-			DynPowerW:  o.TrueEnergyJ / o.TrueSeconds,
-			DynEnergyJ: o.TrueEnergyJ,
-			Attempts:   attempts,
-		})
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	err = store.SaveCampaign(f, rec)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
 }

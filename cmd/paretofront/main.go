@@ -3,6 +3,12 @@
 // header line is skipped if its numeric fields do not parse); input comes
 // from a file argument or stdin.
 //
+// The default (global-front) path streams: each parsed row is inserted
+// into an incremental Pareto index (internal/parindex), so memory is
+// bounded by the front, not the input — an arbitrarily long sweep pipe
+// costs only its non-dominated survivors. -ranks needs every rank, so
+// it materializes the point set and runs the batch ranking.
+//
 // Usage:
 //
 //	gpusweep -device p100 -n 10240 | paretofront -ranks
@@ -19,6 +25,7 @@ import (
 	"strings"
 
 	"energyprop/internal/pareto"
+	"energyprop/internal/parindex"
 )
 
 func main() {
@@ -35,17 +42,39 @@ func main() {
 		defer f.Close() //lint:ignore droppederr input is read-only and fully consumed; read errors surface via the scanner
 		in = f
 	}
-	points, err := readPoints(in)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "paretofront: %v\n", err)
-		os.Exit(1)
-	}
-	if len(points) == 0 {
-		fmt.Fprintln(os.Stderr, "paretofront: no data points")
-		os.Exit(1)
+	var allRanks [][]pareto.Point
+	if *ranks {
+		points, err := readPoints(in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paretofront: %v\n", err)
+			os.Exit(1)
+		}
+		if len(points) == 0 {
+			fmt.Fprintln(os.Stderr, "paretofront: no data points")
+			os.Exit(1)
+		}
+		allRanks = pareto.Ranks(points)
+	} else {
+		// Single-pass: the incremental front over the streamed rows equals
+		// batch rank 0 (a tested invariant of internal/parindex).
+		var front parindex.Front
+		n := 0
+		err := forEachPoint(in, func(p pareto.Point) error {
+			n++
+			front.Insert(parindex.Entry{Label: p.Label, Time: p.Time, Energy: p.Energy})
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paretofront: %v\n", err)
+			os.Exit(1)
+		}
+		if n == 0 {
+			fmt.Fprintln(os.Stderr, "paretofront: no data points")
+			os.Exit(1)
+		}
+		allRanks = [][]pareto.Point{front.Points()}
 	}
 
-	allRanks := pareto.Ranks(points)
 	limit := 1
 	if *ranks {
 		limit = len(allRanks)
@@ -65,8 +94,11 @@ func main() {
 	}
 }
 
-// readPoints parses configuration outcomes from CSV. Three layouts are
-// accepted (auto-detected per line, header tolerated):
+// forEachPoint parses configuration outcomes from CSV one line at a
+// time, handing each point to fn as soon as it parses — the streaming
+// core shared by the single-pass front path and the materializing
+// readPoints. Three layouts are accepted (auto-detected per line,
+// header tolerated):
 //
 //   - plain:    label,time,energy
 //   - gpusweep: config,seconds,dyn_power_w,dyn_energy_j
@@ -74,8 +106,7 @@ func main() {
 //
 // The first field may be double-quoted (older sweeps quoted config
 // labels containing commas; current config keys need no quoting).
-func readPoints(r io.Reader) ([]pareto.Point, error) {
-	var out []pareto.Point
+func forEachPoint(r io.Reader, fn func(pareto.Point) error) error {
 	sc := bufio.NewScanner(r)
 	lineNo := 0
 	for sc.Scan() {
@@ -86,7 +117,7 @@ func readPoints(r io.Reader) ([]pareto.Point, error) {
 		}
 		label, rest, err := splitLabel(line)
 		if err != nil {
-			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			return fmt.Errorf("line %d: %v", lineNo, err)
 		}
 		fields := strings.Split(rest, ",")
 		var tIdx, eIdx int
@@ -100,7 +131,7 @@ func readPoints(r io.Reader) ([]pareto.Point, error) {
 		case len(fields) >= 2:
 			tIdx, eIdx = 0, 1
 		default:
-			return nil, fmt.Errorf("line %d: want label,time,energy", lineNo)
+			return fmt.Errorf("line %d: want label,time,energy", lineNo)
 		}
 		t, err1 := strconv.ParseFloat(strings.TrimSpace(fields[tIdx]), 64)
 		e, err2 := strconv.ParseFloat(strings.TrimSpace(fields[eIdx]), 64)
@@ -108,11 +139,27 @@ func readPoints(r io.Reader) ([]pareto.Point, error) {
 			if lineNo == 1 {
 				continue // header
 			}
-			return nil, fmt.Errorf("line %d: bad numeric fields", lineNo)
+			return fmt.Errorf("line %d: bad numeric fields", lineNo)
 		}
-		out = append(out, pareto.Point{Label: label, Time: t, Energy: e})
+		if err := fn(pareto.Point{Label: label, Time: t, Energy: e}); err != nil {
+			return err
+		}
 	}
-	return out, sc.Err()
+	return sc.Err()
+}
+
+// readPoints materializes the full point set — the -ranks path, which
+// needs every rank, not just the streamed global front.
+func readPoints(r io.Reader) ([]pareto.Point, error) {
+	var out []pareto.Point
+	err := forEachPoint(r, func(p pareto.Point) error {
+		out = append(out, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // splitLabel peels the first CSV field, honoring double quotes.

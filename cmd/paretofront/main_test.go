@@ -1,8 +1,12 @@
 package main
 
 import (
+	"reflect"
 	"strings"
 	"testing"
+
+	"energyprop/internal/pareto"
+	"energyprop/internal/parindex"
 )
 
 func TestReadPointsBasic(t *testing.T) {
@@ -104,5 +108,42 @@ func TestSplitLabel(t *testing.T) {
 	label, rest, err = splitLabel("\"a,b\",3,4")
 	if err != nil || label != "a,b" || rest != "3,4" {
 		t.Errorf("quoted: %q %q %v", label, rest, err)
+	}
+}
+
+// TestStreamedFrontMatchesRankZero: the default (no -ranks) path streams
+// rows into an incremental parindex.Front; its output point set must
+// equal batch pareto.Ranks' rank 0 over the same materialized input —
+// including duplicate collapse and dominated-row eviction.
+func TestStreamedFrontMatchesRankZero(t *testing.T) {
+	in := "config,seconds,dyn_power_w,dyn_energy_j\n" +
+		"a,1.0,10,100\n" +
+		"b,2.0,10,60\n" +
+		"c,2.0,10,60\n" + // duplicate coordinates: first encountered wins
+		"d,3.0,10,80\n" + // dominated by b
+		"e,4.0,10,30\n" +
+		"f,0.5,10,200\n"
+	pts, err := readPoints(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pareto.Ranks(pts)[0]
+
+	var front parindex.Front
+	n := 0
+	err = forEachPoint(strings.NewReader(in), func(p pareto.Point) error {
+		n++
+		front.Insert(parindex.Entry{Label: p.Label, Time: p.Time, Energy: p.Energy})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(pts) {
+		t.Fatalf("streamed %d rows, materialized %d", n, len(pts))
+	}
+	got := front.Points()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("streamed front %v != batch rank 0 %v", got, want)
 	}
 }

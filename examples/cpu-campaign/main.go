@@ -9,12 +9,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"energyprop"
 	"energyprop/internal/campaign"
 	"energyprop/internal/device"
+	"energyprop/internal/parindex"
 )
 
 func main() {
@@ -26,10 +28,20 @@ func main() {
 
 	fmt.Printf("measured campaign on %s (kind %s)\n", dev.Spec().CatalogName, dev.Kind())
 	spec := campaign.DefaultSpec(1)
-	res, err := campaign.Run(dev, w, spec)
+	configs, err := dev.Configs(w.Normalized())
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The campaign streams into two sinks at once: a materialized Result
+	// for the analysis below, and an incremental Pareto index that can
+	// answer constraint queries the moment the stream flushes.
+	index := parindex.NewIndex()
+	idxSink := campaign.NewIndexSink(index, "haswell", w)
+	resSink := campaign.NewResultSink(dev, w)
+	if err := campaign.Stream(context.Background(), dev, w, configs, spec, campaign.MultiSink{resSink, idxSink}); err != nil {
+		log.Fatal(err)
+	}
+	res := resSink.Result()
 	fmt.Printf("campaign: %d decompositions, %d total measured runs for %s\n\n",
 		len(res.Points), res.TotalRuns, w)
 
@@ -64,5 +76,14 @@ func main() {
 		cp.Config.String(), cp.TrueSeconds, cp.MeasuredEnergyJ)
 	if fastest != cheapest {
 		fmt.Println("they differ: performance and dynamic energy are separate objectives on the CPU too")
+	}
+
+	// The index answers the operator's question directly — fastest
+	// decomposition within a dynamic-energy budget — in O(log n), the
+	// same query path the measurement service's /optimize endpoint uses.
+	budget := 0.9 * fp.MeasuredEnergyJ
+	if e, _, ok := index.Best(idxSink.Key, parindex.Query{MaxEnergy: budget}); ok {
+		fmt.Printf("fastest within a %.1fJ budget: %-24s t=%.4fs E=%.1fJ (from the incremental index)\n",
+			budget, e.Label, e.Time, e.Energy)
 	}
 }

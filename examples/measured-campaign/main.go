@@ -2,13 +2,17 @@
 // complete (BS, G, R) sweep on the simulated P100 where every data point
 // is obtained the way the paper obtains it — a time-varying power trace
 // sampled by a noisy WattsUp-style meter, repeated until the sample mean
-// lies in the 95% confidence interval at 2.5% precision — then persists
-// the campaign as JSON, reloads it, and runs the Pareto analysis on the
-// measured (not model-true) values.
+// lies in the 95% confidence interval at 2.5% precision. The campaign
+// streams through the sink pipeline: one fan-out serializes the JSON
+// record as points commit (no materialized slice behind the file), the
+// other materializes a Result for the error analysis. The record is then
+// reloaded and the Pareto analysis runs on the measured (not model-true)
+// values.
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"runtime"
@@ -40,23 +44,28 @@ func main() {
 	}
 	fmt.Printf("measuring every configuration of %d products of %dx%d on %s (%d workers)...\n",
 		w.Products, w.N, w.N, dev.Spec().CatalogName, spec.Workers)
-	res, err := campaign.Run(dev, w, spec)
+	configs, err := dev.Configs(w)
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The stream fans out: the RecordSink writes the campaign JSON as
+	// each point commits, the ResultSink keeps the reports for the
+	// model-vs-measured comparison below. Delivery is in configuration
+	// order at any worker count, so the bytes are identical to a serial
+	// materialize-then-save run.
+	var buf bytes.Buffer
+	recSink, err := campaign.NewRecordSink(&buf, dev, w, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resSink := campaign.NewResultSink(dev, w)
+	if err := campaign.Stream(context.Background(), dev, w, configs, spec, campaign.MultiSink{resSink, recSink}); err != nil {
+		log.Fatal(err)
+	}
+	res := resSink.Result()
 	fmt.Printf("campaign: %d configurations, %d total measured runs\n",
 		len(res.Points), res.TotalRuns)
-
-	// Persist and reload (the JSON a real campaign would leave on disk).
-	rec, err := res.Record()
-	if err != nil {
-		log.Fatal(err)
-	}
-	var buf bytes.Buffer
-	if err := store.SaveCampaign(&buf, rec); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("persisted %d bytes of JSON\n", buf.Len())
+	fmt.Printf("persisted %d bytes of JSON (streamed as points committed)\n", buf.Len())
 	loaded, err := store.LoadCampaign(&buf)
 	if err != nil {
 		log.Fatal(err)

@@ -1,10 +1,12 @@
 // measurement-service starts the HTTP measurement daemon (the HCLWattsUp
 // as-a-lab-service analog) on a loopback port, then acts as its own
 // client: it lists the registered devices, requests a statistically
-// converged measurement of one configuration (by its canonical key), and
+// converged measurement of one configuration (by its canonical key),
 // fetches full measured sweeps — one GPU, one CPU — as JSON records
-// through the same device-generic pipeline, the workflow a measurement
-// script would run against cmd/epmeterd.
+// through the same device-generic pipeline, and finally asks /optimize
+// for the best configuration under an energy budget, answered from the
+// Pareto index the sweeps populated (no re-measurement) — the workflow a
+// measurement script would run against cmd/epmeterd.
 package main
 
 import (
@@ -64,18 +66,39 @@ func main() {
 	// 3. Full measured sweeps, analyzed client-side. The same request
 	// shape drives any backend; only the device name changes. The workers
 	// field fans the campaign out on the server without changing the record.
+	var gpuFront []energyprop.Point
 	for _, req := range []service.SweepRequest{
 		{Device: "p100", Workload: device.Workload{N: 10240, Products: 8}, Seed: 1, Workers: 8},
 		{Device: "haswell", Workload: device.Workload{N: 96, Products: 1}, Seed: 1, Workers: 8},
 	} {
 		rec := sweep(base, req)
 		front := energyprop.Front(rec.Points())
+		if req.Device == "p100" {
+			gpuFront = front
+		}
 		fmt.Printf("\nsweep of %d measured configurations on %s (%s); front:\n",
 			len(rec.Results), rec.Device, rec.Kind)
 		for _, p := range front {
 			fmt.Printf("  %-22s t=%7.3fs E=%8.1fJ\n", p.Label, p.Time, p.Energy)
 		}
 	}
+
+	// 4. Constraint query against the server's incremental Pareto index.
+	// The sweeps above already streamed every measured point into it, so
+	// this answers in microseconds without touching a device: "fastest
+	// configuration within 90% of the front's worst-case energy".
+	budget := 0.9 * gpuFront[0].Energy
+	resp, err = http.Get(fmt.Sprintf("%s/optimize?device=p100&n=10240&products=8&max_energy=%g", base, budget))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var best service.OptimizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&best); err != nil {
+		log.Fatal(err)
+	}
+	closeBody(resp)
+	fmt.Printf("\noptimize (max_energy=%.1fJ): %s t=%.3fs E=%.1fJ (front of %d, objective %s)\n",
+		budget, best.Label, best.Seconds, best.DynEnergyJ, best.FrontSize, best.Objective)
 }
 
 // measure posts one /measure request and decodes the reply.

@@ -164,15 +164,38 @@ func RunConfigs(ctx context.Context, dev device.Device, w device.Workload, confi
 	if dev == nil {
 		return nil, errors.New("campaign: nil device")
 	}
+	rs := NewResultSink(dev, w)
+	if err := Stream(ctx, dev, w, configs, spec, rs); err != nil {
+		return nil, err
+	}
+	return rs.Result(), nil
+}
+
+// Stream is the streaming core every campaign entry point now rests
+// on: it measures the explicit configuration list under the spec and
+// delivers each outcome to sink in configuration order as completions
+// allow, instead of materializing a result slice. The sink sees
+// exactly len(configs) Accept calls (one per configuration, in order)
+// followed by one Flush; on any error — executor, context, or sink —
+// the campaign aborts, Flush is never called, and the error is
+// returned. Delivery order and bytes are executor-independent, so a
+// streamed campaign's record is byte-identical to a materialized one.
+func Stream(ctx context.Context, dev device.Device, w device.Workload, configs []device.Config, spec Spec, sink Sink) error {
+	if dev == nil {
+		return errors.New("campaign: nil device")
+	}
+	if sink == nil {
+		return errNilSink
+	}
 	if spec.Measure.Confidence == 0 {
 		spec.Measure = stats.DefaultMeasureSpec()
 		spec.Measure.CheckNormality = false
 	}
 	if spec.NoiseFrac < 0 {
-		return nil, errors.New("campaign: negative noise")
+		return errors.New("campaign: negative noise")
 	}
 	if len(configs) == 0 {
-		return nil, errors.New("campaign: no configurations")
+		return errors.New("campaign: no configurations")
 	}
 	w = w.Normalized()
 	job := &Job{
@@ -181,28 +204,19 @@ func RunConfigs(ctx context.Context, dev device.Device, w device.Workload, confi
 		Configs:  configs,
 		Spec:     spec,
 		progress: parallel.NewProgress(len(configs), spec.Progress),
+		sink:     sink,
 	}
 	exec := spec.Executor
 	if exec == nil {
 		exec = LocalExecutor{}
 	}
-	outcomes, err := exec.Execute(ctx, job)
-	if err != nil {
-		return nil, err
+	if err := exec.Execute(ctx, job); err != nil {
+		return err
 	}
-	if len(outcomes) != len(configs) {
-		return nil, fmt.Errorf("campaign: executor %T returned %d outcomes for %d configurations", exec, len(outcomes), len(configs))
+	if n := job.Committed(); n != len(configs) {
+		return fmt.Errorf("campaign: executor %T committed %d outcomes for %d configurations", exec, n, len(configs))
 	}
-	out := &Result{Device: dev.Spec().CatalogName, Kind: dev.Kind(), Workload: w}
-	for _, o := range outcomes {
-		if o.Failure != nil {
-			out.Failed = append(out.Failed, *o.Failure)
-			continue
-		}
-		out.Points = append(out.Points, o.Report)
-		out.TotalRuns += o.Report.Runs
-	}
-	return out, nil
+	return sink.Flush()
 }
 
 // retriedPoint measures one configuration under the spec's retry

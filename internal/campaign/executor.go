@@ -2,6 +2,8 @@ package campaign
 
 import (
 	"context"
+	"fmt"
+	"sync"
 
 	"energyprop/internal/device"
 	"energyprop/internal/fault"
@@ -18,8 +20,8 @@ type PointOutcome struct {
 
 // Job is one campaign execution request handed to an Executor: the
 // opened device, the normalized workload, the explicit configuration
-// list, and the spec. Executors measure every configuration and return
-// the outcomes indexed like Configs; how the work is fanned out (a local
+// list, and the spec. Executors measure every configuration and commit
+// each outcome through Commit; how the work is fanned out (a local
 // worker pool, a sharded fleet of simulated nodes, ...) is the
 // executor's business and must never change the outcome bytes — a
 // point's measurement is a pure function of (Spec.Seed, config).
@@ -34,12 +36,43 @@ type Job struct {
 	Spec     Spec
 
 	progress *parallel.Progress
+	sink     Sink
+
+	mu        sync.Mutex
+	committed int
 }
 
-// Tick reports one committed configuration to the spec's progress
-// callback. Executors call it once per outcome they commit; calls are
-// serialized, so the callback needs no locking of its own.
-func (j *Job) Tick() { j.progress.Tick() }
+// Commit delivers the i-th configuration's outcome to the campaign's
+// sink and progress callback. Executors must commit outcome i for every
+// i in [0, len(Configs)) exactly once, in increasing order — the
+// in-order contract is what makes a streamed campaign byte-identical to
+// the old materialized path on any executor, and Commit enforces it:
+// an out-of-order or duplicate commit is an error. Calls are
+// serialized by the job, so sinks need no locking of their own. A sink
+// error aborts the campaign; executors must stop dispatching and
+// return it.
+func (j *Job) Commit(i int, o PointOutcome) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i != j.committed {
+		return fmt.Errorf("campaign: executor committed outcome %d out of order (want %d)", i, j.committed)
+	}
+	j.committed++
+	if j.sink != nil {
+		if err := j.sink.Accept(o); err != nil {
+			return err
+		}
+	}
+	j.progress.Tick()
+	return nil
+}
+
+// Committed returns how many outcomes have been committed so far.
+func (j *Job) Committed() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.committed
+}
 
 // MeasureOn measures the job's i-th configuration on dev — the
 // per-point unit of work every executor fans out. It applies the spec's
@@ -63,28 +96,30 @@ func (j *Job) MeasureOn(ctx context.Context, dev device.Device, i int) (PointOut
 // Executor is the strategy that fans a campaign's configurations out.
 // The local worker pool is the reference implementation; internal/fleet
 // provides a sharded multi-node dispatcher. Every implementation must
-// return outcomes indexed like job.Configs and must leave the outcome
-// bytes executor-independent: RunConfigs callers (the service,
-// gpusweep, epstudy) pick an executor for wall-clock and fault-tolerance
-// shape, never for different results.
+// measure each of job.Configs (typically via job.MeasureOn) and deliver
+// every outcome through job.Commit — in index order, exactly once —
+// before returning nil. Stream verifies the count. Executors shape
+// wall-clock and fault tolerance, never results: Stream callers (the
+// service, gpusweep, epstudy) get identical sink deliveries from any
+// executor.
 type Executor interface {
-	Execute(ctx context.Context, job *Job) ([]PointOutcome, error)
+	Execute(ctx context.Context, job *Job) error
 }
 
 // LocalExecutor measures the campaign in-process on a bounded worker
-// pool of Spec.Workers goroutines — the reference executor RunConfigs
-// uses when the spec names none. Workers == 1 is the serial path every
+// pool of Spec.Workers goroutines — the reference executor Stream uses
+// when the spec names none. Workers == 1 is the serial path every
 // determinism test compares against.
 type LocalExecutor struct{}
 
-// Execute implements Executor on the in-process pool.
-func (LocalExecutor) Execute(ctx context.Context, job *Job) ([]PointOutcome, error) {
-	return parallel.Map(ctx, job.Spec.Workers, len(job.Configs), func(ctx context.Context, i int) (PointOutcome, error) {
-		o, err := job.MeasureOn(ctx, job.Device, i)
-		if err != nil {
-			return PointOutcome{}, err
-		}
-		job.Tick()
-		return o, nil
-	})
+// Execute implements Executor on the in-process pool: parallel.Each
+// fans the configurations out and re-serializes completions into
+// in-order commits, so outcome i reaches the sink as soon as outcomes
+// 0..i-1 have — no end-of-campaign materialization barrier.
+func (LocalExecutor) Execute(ctx context.Context, job *Job) error {
+	return parallel.Each(ctx, job.Spec.Workers, len(job.Configs),
+		func(ctx context.Context, i int) (PointOutcome, error) {
+			return job.MeasureOn(ctx, job.Device, i)
+		},
+		job.Commit)
 }

@@ -11,33 +11,59 @@ import (
 
 // recordingExecutor proves RunConfigs delegates fan-out: it measures
 // every point through the job's own MeasureOn (so results stay real)
-// while recording that it, not the local pool, was driven.
+// and commits through the job's Commit (so sinks are fed), while
+// recording that it, not the local pool, was driven.
 type recordingExecutor struct {
 	calls   int
 	configs int
 }
 
-func (r *recordingExecutor) Execute(ctx context.Context, job *Job) ([]PointOutcome, error) {
+func (r *recordingExecutor) Execute(ctx context.Context, job *Job) error {
 	r.calls++
 	r.configs = len(job.Configs)
-	out := make([]PointOutcome, len(job.Configs))
 	for i := range job.Configs {
 		o, err := job.MeasureOn(ctx, job.Device, i)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		job.Tick()
-		out[i] = o
+		if err := job.Commit(i, o); err != nil {
+			return err
+		}
 	}
-	return out, nil
+	return nil
 }
 
-// truncatingExecutor violates the executor contract by dropping an
-// outcome.
+// truncatingExecutor violates the executor contract by dropping the
+// last configuration's commit.
 type truncatingExecutor struct{}
 
-func (truncatingExecutor) Execute(ctx context.Context, job *Job) ([]PointOutcome, error) {
-	return make([]PointOutcome, len(job.Configs)-1), nil
+func (truncatingExecutor) Execute(ctx context.Context, job *Job) error {
+	for i := 0; i < len(job.Configs)-1; i++ {
+		o, err := job.MeasureOn(ctx, job.Device, i)
+		if err != nil {
+			return err
+		}
+		if err := job.Commit(i, o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reorderingExecutor violates the in-order commit contract.
+type reorderingExecutor struct{}
+
+func (reorderingExecutor) Execute(ctx context.Context, job *Job) error {
+	for i := len(job.Configs) - 1; i >= 0; i-- {
+		o, err := job.MeasureOn(ctx, job.Device, i)
+		if err != nil {
+			return err
+		}
+		if err := job.Commit(i, o); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func TestCustomExecutorIsUsed(t *testing.T) {
@@ -99,5 +125,15 @@ func TestExecutorOutcomeCountMismatch(t *testing.T) {
 	_, err := runAllConfigs(t, dev, device.Workload{N: 48, Products: 1}, spec)
 	if err == nil || !strings.Contains(err.Error(), "outcomes") {
 		t.Fatalf("err = %v, want an outcome-count mismatch", err)
+	}
+}
+
+func TestCommitRejectsOutOfOrder(t *testing.T) {
+	dev := openDev(t, "haswell")
+	spec := DefaultSpec(7)
+	spec.Executor = reorderingExecutor{}
+	_, err := runAllConfigs(t, dev, device.Workload{N: 48, Products: 1}, spec)
+	if err == nil || !strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("err = %v, want an out-of-order commit rejection", err)
 	}
 }

@@ -31,12 +31,20 @@ import (
 // is the measurement, not shared state. Cancellation receives from
 // ctx.Done() are allowed: cancellability is itself a contract (ctxsweep)
 // and an aborted run produces no record at all.
+//
+// The streaming result pipeline adds a layering clause: no
+// campaign.Sink Accept may be reachable from a measurement path. Sinks
+// are the campaign engine's output side — driven in configuration order
+// after a point commits — and a device that pushed into one from inside
+// Run would emit results out of order, once per retry, and concurrently
+// from the worker pool, breaking every delivery guarantee downstream
+// byte-identity rests on.
 type PureRun struct{}
 
 func (PureRun) Name() string { return "purerun" }
 
 func (PureRun) Doc() string {
-	return "code reachable from device.Run/meter sampling must not write package-level state, log, use channels, or read the clock"
+	return "code reachable from device.Run/meter sampling must not write package-level state, log, use channels, read the clock, or drive a campaign.Sink"
 }
 
 func (PureRun) Check(pkg *Package) []Finding { return nil }
@@ -62,7 +70,21 @@ var meterEntryPoints = map[string]bool{
 	"MeasureRun": true, "MeasureIdle": true, "BaselineDrift": true,
 }
 
-const devicePkgPath = "energyprop/internal/device"
+const (
+	devicePkgPath   = "energyprop/internal/device"
+	campaignPkgPath = "energyprop/internal/campaign"
+)
+
+// sinkInterface resolves campaign.Sink from the analyzed packages or
+// their imports; nil when the campaign package is nowhere in the
+// program (the layering clause is then vacuous).
+func sinkInterface(prog *Program) *types.Interface {
+	obj := prog.LookupType(campaignPkgPath, "Sink")
+	if obj == nil {
+		return nil
+	}
+	return interfaceOf(obj.Type())
+}
 
 // deviceRunRoots returns every analyzed method named Run whose receiver
 // type (or its pointer) implements device.Device.
@@ -113,19 +135,20 @@ func (PureRun) CheckProgram(prog *Program) []Finding {
 	if len(roots) == 0 {
 		return nil
 	}
+	sink := sinkInterface(prog)
 	reach := prog.Graph.Reach(roots)
 	var out []Finding
 	for _, n := range prog.Graph.Nodes {
 		if !reach.Has(n) {
 			continue
 		}
-		out = append(out, checkPureBody(n, reach)...)
+		out = append(out, checkPureBody(n, reach, sink)...)
 	}
 	return out
 }
 
 // checkPureBody scans one reachable function body for impure effects.
-func checkPureBody(n *Node, reach *Reach) []Finding {
+func checkPureBody(n *Node, reach *Reach, sink *types.Interface) []Finding {
 	pkg := n.Pkg
 	path := reach.Path(n)
 	var out []Finding
@@ -165,15 +188,16 @@ func checkPureBody(n *Node, reach *Reach) []Finding {
 				}
 			}
 		case *ast.CallExpr:
-			out = append(out, checkPureCall(pkg, x, path)...)
+			out = append(out, checkPureCall(pkg, x, path, sink)...)
 		}
 	})
 	return out
 }
 
 // checkPureCall flags impure calls: clock reads, logging/printing,
-// close(), and mutating method calls on package-level state.
-func checkPureCall(pkg *Package, call *ast.CallExpr, path string) []Finding {
+// close(), Sink deliveries, and mutating method calls on package-level
+// state.
+func checkPureCall(pkg *Package, call *ast.CallExpr, path string, sink *types.Interface) []Finding {
 	var out []Finding
 	report := func(at ast.Node, format string, args ...any) {
 		f := pkg.findingf(at, "purerun", format, args...)
@@ -210,6 +234,16 @@ func checkPureCall(pkg *Package, call *ast.CallExpr, path string) []Finding {
 			return out
 		}
 	}
+	// A Sink delivery from inside a measurement path inverts the
+	// pipeline's layering: Accept is the campaign engine's commit step
+	// (in configuration order, once per point, single-threaded), and a
+	// device pushing into a sink would fire it per attempt, out of
+	// order, and concurrently. Flagged on any receiver — local, field,
+	// or parameter — that satisfies campaign.Sink.
+	if sink != nil && sinkAcceptCall(pkg, call, sink) {
+		report(call, "campaign.Sink Accept inside a measurement path delivers results from the device; sinks are driven only by the campaign engine after a point commits")
+		return out
+	}
 	// Pointer-receiver method call on a package-level variable (e.g. a
 	// metrics counter's Inc, a registry's Store) — the exact pattern the
 	// observability plane must not introduce. Value-receiver methods get
@@ -228,6 +262,25 @@ func checkPureCall(pkg *Package, call *ast.CallExpr, path string) []Finding {
 		}
 	}
 	return out
+}
+
+// sinkAcceptCall reports whether call is a method call named Accept on
+// a value satisfying campaign.Sink — the interface itself, or any
+// concrete sink type (by value or pointer).
+func sinkAcceptCall(pkg *Package, call *ast.CallExpr, sink *types.Interface) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Accept" {
+		return false
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	recv := s.Recv()
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	return types.Implements(recv, sink) || types.Implements(types.NewPointer(recv), sink)
 }
 
 // methodHasPointerReceiver reports whether the selected method is

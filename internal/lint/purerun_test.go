@@ -155,3 +155,122 @@ func record() {
 		t.Errorf("Suppressed = %d, want 1", sum.Suppressed)
 	}
 }
+
+func TestPureRunFlagsSinkAcceptBelowRun(t *testing.T) {
+	// The streaming pipeline's layering clause: a device holding a
+	// campaign.Sink and delivering into it below Run (here one hop down,
+	// through an interface-typed field) is flagged.
+	src := `package purefix
+
+import (
+	"context"
+
+	"energyprop/internal/campaign"
+	"energyprop/internal/device"
+)
+
+type dev struct{ sink campaign.Sink }
+
+func (d *dev) Name() string      { return "fake" }
+func (d *dev) Kind() string      { return "cpu" }
+func (d *dev) Spec() device.Spec { return device.Spec{} }
+
+func (d *dev) Configs(w device.Workload) ([]device.Config, error) { return nil, nil }
+
+func (d *dev) Run(ctx context.Context, w device.Workload, c device.Config) (*device.Outcome, error) {
+	return nil, d.deliver()
+}
+
+func (d *dev) deliver() error {
+	return d.sink.Accept(campaign.PointOutcome{})
+}
+`
+	checkFixture(t, []Rule{PureRun{}}, "energyprop/internal/purefix", src, []want{
+		{line: 23, rule: "purerun", substr: "campaign.Sink Accept inside a measurement path"},
+	})
+}
+
+func TestPureRunFlagsConcreteSinkAcceptInRun(t *testing.T) {
+	// Same clause for a concrete sink type called by value: anything
+	// satisfying campaign.Sink (directly or through its pointer) counts,
+	// not just interface-typed calls.
+	src := `package purefix
+
+import (
+	"context"
+
+	"energyprop/internal/campaign"
+	"energyprop/internal/device"
+)
+
+type tap struct{ n int }
+
+func (t *tap) Accept(o campaign.PointOutcome) error { t.n++; return nil }
+func (t *tap) Flush() error                         { return nil }
+
+type dev struct{}
+
+func (dev) Name() string      { return "fake" }
+func (dev) Kind() string      { return "cpu" }
+func (dev) Spec() device.Spec { return device.Spec{} }
+
+func (dev) Configs(w device.Workload) ([]device.Config, error) { return nil, nil }
+
+func (dev) Run(ctx context.Context, w device.Workload, c device.Config) (*device.Outcome, error) {
+	var t tap
+	if err := t.Accept(campaign.PointOutcome{}); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+`
+	checkFixture(t, []Rule{PureRun{}}, "energyprop/internal/purefix", src, []want{
+		{line: 25, rule: "purerun", substr: "campaign.Sink Accept inside a measurement path"},
+	})
+}
+
+func TestPureRunAllowsSinkAcceptOutsideMeasurementPaths(t *testing.T) {
+	// Accept is the campaign engine's normal commit call — outside any
+	// Run-reachable path it is exactly how the pipeline is meant to be
+	// driven, and an unrelated Accept method that does not satisfy Sink
+	// is no concern of the rule at all.
+	src := `package purefix
+
+import (
+	"context"
+
+	"energyprop/internal/campaign"
+	"energyprop/internal/device"
+)
+
+type dev struct{}
+
+func (dev) Name() string      { return "fake" }
+func (dev) Kind() string      { return "cpu" }
+func (dev) Spec() device.Spec { return device.Spec{} }
+
+func (dev) Configs(w device.Workload) ([]device.Config, error) { return nil, nil }
+
+func (dev) Run(ctx context.Context, w device.Workload, c device.Config) (*device.Outcome, error) {
+	return nil, nil
+}
+
+// Drive streams outcomes into a sink the way the engine does — not a
+// measurement path, so not a finding.
+func Drive(s campaign.Sink) error {
+	if err := s.Accept(campaign.PointOutcome{}); err != nil {
+		return err
+	}
+	return s.Flush()
+}
+
+type visitor struct{}
+
+func (visitor) Accept(n int) int { return n }
+
+// Tally is likewise outside measurement paths, and visitor is not a
+// Sink anyway.
+func Tally() int { return visitor{}.Accept(1) }
+`
+	checkFixture(t, []Rule{PureRun{}}, "energyprop/internal/purefix", src, nil)
+}

@@ -15,6 +15,15 @@
 // /stats endpoint of internal/service and the CLIs' cache-stats output
 // read them.
 //
+// Large caches are striped: the key space is split across up to 16
+// independently locked shards so a streaming campaign committing points
+// from many workers does not serialize on one mutex. Each key maps to
+// exactly one shard, so the singleflight and bit-identity guarantees are
+// unchanged; the LRU bound is enforced per shard (keys distribute
+// uniformly under the digest keys Digest produces), and Stats aggregates
+// the shard counters. Small caches (under 256 entries per would-be
+// shard) stay single-shard, preserving exact global LRU order.
+//
 // Keys are canonical digests built with Digest: length-prefixed SHA-256
 // over the identity fields. Callers must never concatenate fields by
 // hand (a raw fmt.Sprintf key is an epvet seedflow finding): ambiguous
@@ -53,7 +62,17 @@ func Digest(parts ...string) string {
 // (110 GPU configurations) times dozens of overlapping campaigns.
 const DefaultCapacity = 4096
 
-// Stats is a point-in-time snapshot of the cache's counters.
+// Striping bounds: a cache gains one shard per entriesPerShard entries
+// of capacity, up to maxShards. The threshold keeps small caches (every
+// test fixture, the CLIs' per-run caches) single-shard with exact global
+// LRU; the cap bounds the fixed footprint of a large cache.
+const (
+	maxShards       = 16
+	entriesPerShard = 256
+)
+
+// Stats is a point-in-time snapshot of the cache's counters, aggregated
+// across shards.
 type Stats struct {
 	// Hits counts lookups served from a stored entry.
 	Hits uint64 `json:"hits"`
@@ -90,10 +109,9 @@ type entry[V any] struct {
 	val V
 }
 
-// Cache is a bounded, concurrency-safe, content-addressed result cache
-// with singleflight deduplication. The zero value is not usable; call
-// New.
-type Cache[V any] struct {
+// shard is one independently locked stripe of the cache: a bounded LRU
+// store plus the singleflight table for the keys that hash to it.
+type shard[V any] struct {
 	mu       sync.Mutex
 	capacity int
 	store    map[string]*list.Element // key -> *entry[V] element
@@ -103,18 +121,59 @@ type Cache[V any] struct {
 	hits, misses, dedups, evictions uint64
 }
 
+// Cache is a bounded, concurrency-safe, content-addressed result cache
+// with singleflight deduplication, striped across shards when large.
+// The zero value is not usable; call New.
+type Cache[V any] struct {
+	capacity int
+	shards   []*shard[V]
+}
+
 // New builds a cache bounded to capacity entries; a non-positive
-// capacity selects DefaultCapacity.
+// capacity selects DefaultCapacity. The capacity is distributed across
+// the shards (earlier shards take the remainder), so the total bound is
+// exact.
 func New[V any](capacity int) *Cache[V] {
 	if capacity < 1 {
 		capacity = DefaultCapacity
 	}
-	return &Cache[V]{
-		capacity: capacity,
-		store:    map[string]*list.Element{},
-		order:    list.New(),
-		inflight: map[string]*flight[V]{},
+	n := capacity / entriesPerShard
+	if n < 1 {
+		n = 1
 	}
+	if n > maxShards {
+		n = maxShards
+	}
+	c := &Cache[V]{capacity: capacity, shards: make([]*shard[V], n)}
+	base, rem := capacity/n, capacity%n
+	for i := range c.shards {
+		sc := base
+		if i < rem {
+			sc++
+		}
+		c.shards[i] = &shard[V]{
+			capacity: sc,
+			store:    map[string]*list.Element{},
+			order:    list.New(),
+			inflight: map[string]*flight[V]{},
+		}
+	}
+	return c
+}
+
+// shardFor maps a key to its stripe with inline FNV-1a — cheap,
+// deterministic, and well distributed even over the structured hex keys
+// Digest yields.
+func (c *Cache[V]) shardFor(key string) *shard[V] {
+	if len(c.shards) == 1 {
+		return c.shards[0]
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return c.shards[h%uint64(len(c.shards))]
 }
 
 // Do returns the cached value for key, or computes it with fn. The
@@ -128,18 +187,22 @@ func New[V any](capacity int) *Cache[V] {
 // cancelled), and sharing it would make one client's cancellation
 // observable to another, violating the cache-invisibility contract.
 func (c *Cache[V]) Do(key string, fn func() (V, error)) (V, bool, error) {
+	return c.shardFor(key).do(key, fn)
+}
+
+func (s *shard[V]) do(key string, fn func() (V, error)) (V, bool, error) {
 	for {
-		c.mu.Lock()
-		if el, ok := c.store[key]; ok {
-			c.order.MoveToFront(el)
+		s.mu.Lock()
+		if el, ok := s.store[key]; ok {
+			s.order.MoveToFront(el)
 			v := el.Value.(*entry[V]).val
-			c.hits++
-			c.mu.Unlock()
+			s.hits++
+			s.mu.Unlock()
 			return v, true, nil
 		}
-		if f, ok := c.inflight[key]; ok {
-			c.dedups++
-			c.mu.Unlock()
+		if f, ok := s.inflight[key]; ok {
+			s.dedups++
+			s.mu.Unlock()
 			<-f.done
 			if f.err == nil {
 				return f.val, true, nil
@@ -147,10 +210,10 @@ func (c *Cache[V]) Do(key string, fn func() (V, error)) (V, bool, error) {
 			continue
 		}
 		f := &flight[V]{done: make(chan struct{}), err: errAbandoned}
-		c.inflight[key] = f
-		c.misses++
-		c.mu.Unlock()
-		return c.lead(key, f, fn)
+		s.inflight[key] = f
+		s.misses++
+		s.mu.Unlock()
+		return s.lead(key, f, fn)
 	}
 }
 
@@ -158,14 +221,14 @@ func (c *Cache[V]) Do(key string, fn func() (V, error)) (V, bool, error) {
 // result. The deferred block runs even if fn panics: the flight is
 // removed and closed with errAbandoned still set, so waiters retry
 // instead of blocking forever.
-func (c *Cache[V]) lead(key string, f *flight[V], fn func() (V, error)) (V, bool, error) {
+func (s *shard[V]) lead(key string, f *flight[V], fn func() (V, error)) (V, bool, error) {
 	defer func() {
-		c.mu.Lock()
-		delete(c.inflight, key)
+		s.mu.Lock()
+		delete(s.inflight, key)
 		if f.err == nil {
-			c.insertLocked(key, f.val)
+			s.insertLocked(key, f.val)
 		}
-		c.mu.Unlock()
+		s.mu.Unlock()
 		close(f.done)
 	}()
 	f.val, f.err = fn()
@@ -175,53 +238,62 @@ func (c *Cache[V]) lead(key string, f *flight[V], fn func() (V, error)) (V, bool
 // Get returns the stored value for key without computing anything. It
 // counts as a hit or miss but never joins an in-flight computation.
 func (c *Cache[V]) Get(key string) (V, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.store[key]; ok {
-		c.order.MoveToFront(el)
-		c.hits++
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.store[key]; ok {
+		s.order.MoveToFront(el)
+		s.hits++
 		return el.Value.(*entry[V]).val, true
 	}
-	c.misses++
+	s.misses++
 	var zero V
 	return zero, false
 }
 
-// insertLocked stores the value and enforces the LRU bound. Caller
-// holds mu.
-func (c *Cache[V]) insertLocked(key string, v V) {
-	if el, ok := c.store[key]; ok {
+// insertLocked stores the value and enforces the shard's LRU bound.
+// Caller holds s.mu.
+func (s *shard[V]) insertLocked(key string, v V) {
+	if el, ok := s.store[key]; ok {
 		el.Value.(*entry[V]).val = v
-		c.order.MoveToFront(el)
+		s.order.MoveToFront(el)
 		return
 	}
-	c.store[key] = c.order.PushFront(&entry[V]{key: key, val: v})
-	for c.order.Len() > c.capacity {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.store, oldest.Value.(*entry[V]).key)
-		c.evictions++
+	s.store[key] = s.order.PushFront(&entry[V]{key: key, val: v})
+	for s.order.Len() > s.capacity {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.store, oldest.Value.(*entry[V]).key)
+		s.evictions++
 	}
 }
 
-// Len returns the number of stored entries.
+// Len returns the number of stored entries across all shards.
 func (c *Cache[V]) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters, summed across shards.
+// Each shard is snapshotted under its own lock; the aggregate is
+// consistent per shard, not across shards — fine for the monotone
+// counters it reports.
 func (c *Cache[V]) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Dedups:    c.dedups,
-		Evictions: c.evictions,
-		Inflight:  len(c.inflight),
-		Size:      c.order.Len(),
-		Capacity:  c.capacity,
+	out := Stats{Capacity: c.capacity}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		out.Hits += s.hits
+		out.Misses += s.misses
+		out.Dedups += s.dedups
+		out.Evictions += s.evictions
+		out.Inflight += len(s.inflight)
+		out.Size += s.order.Len()
+		s.mu.Unlock()
 	}
+	return out
 }

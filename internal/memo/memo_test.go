@@ -262,3 +262,130 @@ func TestConcurrentMixedAccessRaceClean(t *testing.T) {
 		t.Fatalf("size = %d exceeds capacity 4", s.Size)
 	}
 }
+
+// TestStripingKeepsSmallCachesSingleShard: every capacity below the
+// striping threshold must stay on one shard, because tests and CLI runs
+// rely on exact global LRU order at small sizes.
+func TestStripingKeepsSmallCachesSingleShard(t *testing.T) {
+	for _, capacity := range []int{1, 2, 8, entriesPerShard - 1, entriesPerShard} {
+		c := New[int](capacity)
+		if got := len(c.shards); got != 1 {
+			t.Errorf("New(%d): %d shards, want 1", capacity, got)
+		}
+	}
+	if got := len(New[int](0).shards); got != DefaultCapacity/entriesPerShard {
+		t.Errorf("New(0): %d shards, want %d", got, DefaultCapacity/entriesPerShard)
+	}
+	if got := len(New[int](100 * entriesPerShard * maxShards).shards); got != maxShards {
+		t.Errorf("huge cache: %d shards, want the %d-shard cap", got, maxShards)
+	}
+}
+
+// TestStripedCapacityIsExact: the per-shard capacities must sum to the
+// configured bound even when it does not divide evenly.
+func TestStripedCapacityIsExact(t *testing.T) {
+	capacity := 3*entriesPerShard + 7 // 3 shards, remainder 7
+	c := New[int](capacity)
+	if len(c.shards) != 3 {
+		t.Fatalf("%d shards, want 3", len(c.shards))
+	}
+	sum := 0
+	for _, s := range c.shards {
+		sum += s.capacity
+	}
+	if sum != capacity {
+		t.Fatalf("shard capacities sum to %d, want %d", sum, capacity)
+	}
+	if got := c.Stats().Capacity; got != capacity {
+		t.Fatalf("Stats().Capacity = %d, want %d", got, capacity)
+	}
+}
+
+// TestStripedCacheAggregatesStats fills a multi-shard cache past its
+// bound and checks that Len, Size, and the counters aggregate across
+// shards: every key stored exactly once, totals consistent with the
+// access sequence, occupancy never above the bound.
+func TestStripedCacheAggregatesStats(t *testing.T) {
+	capacity := 2 * entriesPerShard
+	c := New[int](capacity)
+	if len(c.shards) != 2 {
+		t.Fatalf("%d shards, want 2", len(c.shards))
+	}
+	n := capacity + 100 // overflow to force evictions somewhere
+	for i := 0; i < n; i++ {
+		k := Digest("striped", fmt.Sprint(i))
+		v, cached, err := c.Do(k, func() (int, error) { return i, nil })
+		if err != nil || cached || v != i {
+			t.Fatalf("Do(%d) = (%d, %v, %v), want (%d, false, nil)", i, v, cached, err, i)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != uint64(n) || s.Hits != 0 {
+		t.Fatalf("hits/misses = %d/%d, want 0/%d", s.Hits, s.Misses, n)
+	}
+	if s.Size != c.Len() {
+		t.Fatalf("Stats().Size = %d but Len() = %d", s.Size, c.Len())
+	}
+	if s.Size > capacity {
+		t.Fatalf("size %d exceeds capacity %d", s.Size, capacity)
+	}
+	if int(s.Evictions) != n-s.Size {
+		t.Fatalf("evictions = %d, want inserts-size = %d", s.Evictions, n-s.Size)
+	}
+}
+
+// TestStripedConcurrentAccessRaceClean is the multi-shard twin of
+// TestConcurrentMixedAccessRaceClean: many goroutines over a key space
+// wide enough to land on every shard, with enough pressure to evict.
+// Run under -race this checks the per-shard locks compose cleanly.
+func TestStripedConcurrentAccessRaceClean(t *testing.T) {
+	capacity := 2 * entriesPerShard
+	c := New[int](capacity)
+	keys := make([]string, 3*capacity)
+	for i := range keys {
+		keys[i] = Digest("wide", fmt.Sprint(i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				id := (g*31 + i) % len(keys)
+				v, _, err := c.Do(keys[id], func() (int, error) { return id, nil })
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v != id {
+					t.Errorf("Do(key %d) = %d: shards aliased distinct keys", id, v)
+					return
+				}
+				_ = c.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Len(); got > capacity {
+		t.Fatalf("len %d exceeds capacity %d", got, capacity)
+	}
+}
+
+// TestShardForIsDeterministicAndCoversShards: the same key always maps
+// to the same shard (singleflight correctness depends on it), and the
+// digest keys spread over all shards rather than clumping.
+func TestShardForIsDeterministicAndCoversShards(t *testing.T) {
+	c := New[int](maxShards * entriesPerShard)
+	seen := map[*shard[int]]bool{}
+	for i := 0; i < 4096; i++ {
+		k := Digest("spread", fmt.Sprint(i))
+		s := c.shardFor(k)
+		if again := c.shardFor(k); again != s {
+			t.Fatalf("shardFor(%q) not deterministic", k)
+		}
+		seen[s] = true
+	}
+	if len(seen) != maxShards {
+		t.Fatalf("4096 digest keys covered %d of %d shards", len(seen), maxShards)
+	}
+}

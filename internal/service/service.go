@@ -11,9 +11,15 @@
 //	POST /sweep     {device, workload, seed, workers}
 //	                                      a full measured campaign,
 //	                                      returned as a store.CampaignRecord
+//	GET  /optimize?device=…&n=…&max_energy=…
+//	                                      best configuration under a
+//	                                      time/energy constraint, answered
+//	                                      from the incremental Pareto index
+//	                                      in microseconds — no sweep runs
 //	GET  /stats                           measurement-cache counters
 //	                                      (hits, misses, dedups,
-//	                                      evictions, inflight, size)
+//	                                      evictions, inflight, size) and
+//	                                      Pareto-index counters
 //
 // All bodies are JSON. Unknown fields are rejected so client typos
 // surface as errors rather than silently defaulted parameters. Devices
@@ -59,6 +65,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -73,6 +80,7 @@ import (
 	"energyprop/internal/fault"
 	"energyprop/internal/fleet"
 	"energyprop/internal/memo"
+	"energyprop/internal/parindex"
 )
 
 // Request ceilings. The meter samples runs at WattsUp rate (seconds of
@@ -151,6 +159,13 @@ type Server struct {
 	// request, so the name-keyed cache entries always describe registry
 	// behaviour (the sharing precondition of campaign.PointCache).
 	cache *campaign.PointCache
+	// index is the per-process incremental Pareto-front index. Every
+	// measured point that flows through /measure or /sweep is streamed
+	// into it (an IndexSink fans out of the campaign pipeline), so
+	// /optimize answers constraint queries from memory without running a
+	// single device measurement. Keys use registry device names — the
+	// same names clients pass to the measurement endpoints.
+	index *parindex.Index
 }
 
 // New builds the server.
@@ -158,11 +173,13 @@ func New() *Server {
 	s := &Server{
 		mux:   http.NewServeMux(),
 		cache: campaign.NewPointCache(CacheCapacity),
+		index: parindex.NewIndex(),
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/devices", s.handleDevices)
 	s.mux.HandleFunc("/measure", s.handleMeasure)
 	s.mux.HandleFunc("/sweep", s.handleSweep)
+	s.mux.HandleFunc("/optimize", s.handleOptimize)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	return s
 }
@@ -187,7 +204,8 @@ func (s *Server) setCacheHeaders(w http.ResponseWriter) {
 
 // StatsResponse is the /stats reply.
 type StatsResponse struct {
-	Cache memo.Stats `json:"cache"`
+	Cache memo.Stats     `json:"cache"`
+	Index parindex.Stats `json:"index"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -195,7 +213,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, StatsResponse{Cache: s.cache.Stats()})
+	writeJSON(w, http.StatusOK, StatsResponse{Cache: s.cache.Stats(), Index: s.index.Stats()})
 }
 
 // Handler returns the root handler.
@@ -409,16 +427,19 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	// One-point campaign: /measure flows through the same RunConfigs
-	// path as full sweeps, so seeding, statistics, retries, and caching
+	// One-point campaign: /measure flows through the same streaming
+	// engine as full sweeps, so seeding, statistics, retries, and caching
 	// are identical — a /measure of a point a /sweep already computed is
 	// a cache hit, and N concurrent identical /measure requests collapse
-	// to one device run.
-	res, err := campaign.RunConfigs(ctx, rdev, wl, []device.Config{chosen}, spec)
-	if err != nil {
+	// to one device run. The IndexSink feeds the measured point into the
+	// Pareto index, so even single-point probes grow /optimize coverage.
+	rs := campaign.NewResultSink(rdev, wl)
+	sink := campaign.MultiSink{rs, campaign.NewIndexSink(s.index, req.Device, wl)}
+	if err := campaign.Stream(ctx, rdev, wl, []device.Config{chosen}, spec, sink); err != nil {
 		writeCampaignError(w, err)
 		return
 	}
+	res := rs.Result()
 	s.setCacheHeaders(w)
 	if len(res.Points) == 0 {
 		f := res.Failed[0]
@@ -611,8 +632,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	res, err := campaign.RunConfigs(ctx, rdev, wl, configs, spec)
+	// The sweep streams: outcomes fan out to a compact record writer
+	// (the response body is serialized as points commit, never holding a
+	// materialized []PointReport), the Pareto index behind /optimize, and
+	// the counters that drive the status decision. The record writer's
+	// compact output is byte-identical to encoding a materialized
+	// store.CampaignRecord, so clients see the exact same wire format the
+	// materialized path produced.
+	var body bytes.Buffer
+	rsink, err := campaign.NewRecordSink(&body, dev, wl, true)
 	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	counts := &campaign.CountingSink{}
+	sink := campaign.MultiSink{rsink, campaign.NewIndexSink(s.index, req.Device, wl), counts}
+	if err := campaign.Stream(ctx, rdev, wl, configs, spec, sink); err != nil {
 		writeCampaignError(w, err)
 		return
 	}
@@ -620,28 +655,32 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if coord != nil {
 		setFleetHeaders(w, coord)
 	}
-	if n := len(res.Failed); n > 0 {
+	if n := counts.Failed(); n > 0 {
 		w.Header().Set("X-Points-Failed", strconv.Itoa(n))
 	}
-	if len(res.Points) == 0 {
+	if counts.Accepted() == 0 {
+		// No survivors: the buffered record (failures only) is discarded
+		// in favor of the explicit 502 body.
+		msg := "unknown error"
+		if ferr := counts.FirstFailure(); ferr != nil {
+			msg = ferr.Error()
+		}
 		writeJSON(w, http.StatusBadGateway, map[string]any{
-			"error":       fmt.Sprintf("all %d points failed", len(res.Failed)),
-			"first_error": res.Failed[0].Err.Error(),
+			"error":       fmt.Sprintf("all %d points failed", counts.Failed()),
+			"first_error": msg,
 		})
-		return
-	}
-	rec, err := res.Record()
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	// Partial survival is a partial answer: 206 plus the failed section
 	// lets a client keep the survivors and re-request only the holes.
 	status := http.StatusOK
-	if len(res.Failed) > 0 {
+	if counts.Failed() > 0 {
 		status = http.StatusPartialContent
 	}
-	writeJSON(w, status, rec)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	//lint:ignore droppederr the status line is already sent; a write failure here means the client went away
+	_, _ = w.Write(body.Bytes())
 }
 
 // writeCampaignError maps a campaign failure to its transport status.
