@@ -17,6 +17,14 @@
 // (worst first), with added and removed benchmarks called out. The diff
 // is informational — single-shot CI timings are too noisy to gate on —
 // but allocs/op changes on zero-alloc benchmarks read directly.
+//
+// With -gate, benchjson enforces allocs/op budgets — the one benchmark
+// metric that is deterministic enough to fail CI on:
+//
+//	benchjson -gate BENCH_BUDGET.json bench-current.json
+//
+// The budget file maps benchmark names to their maximum allowed
+// allocs/op; a missing benchmark or an exceeded budget exits non-zero.
 package main
 
 import (
@@ -35,23 +43,30 @@ import (
 
 func main() {
 	diff := flag.Bool("diff", false, "compare two baseline files: benchjson -diff old.json new.json")
+	gate := flag.Bool("gate", false, "enforce allocs/op budgets: benchjson -gate budget.json current.json")
 	flag.Usage = func() {
-		cli.Errorf(os.Stderr, "usage: benchjson [-diff old.json new.json]\n")
+		cli.Errorf(os.Stderr, "usage: benchjson [-diff old.json new.json | -gate budget.json current.json]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if *diff {
 		os.Exit(runDiff(flag.Args(), os.Stdout, os.Stderr))
 	}
+	if *gate {
+		os.Exit(runGate(flag.Args(), os.Stdout, os.Stderr))
+	}
 	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
 }
 
-// Result is one benchmark's parsed metrics.
+// Result is one benchmark's parsed metrics. The byte and allocation
+// fields are emitted even when zero: a zero-alloc benchmark's 0
+// allocs/op is exactly the number a baseline diff must not lose (a
+// formerly-omitted zero reads the same as "not measured").
 type Result struct {
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 // run is main's testable body; it returns the process exit code. The
@@ -194,6 +209,66 @@ func loadBaseline(path string) (map[string]Result, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// runGate implements -gate: load an allocs/op budget file (a map from
+// qualified benchmark name to the maximum allowed allocs/op) and a
+// current baseline, and fail when a budgeted benchmark is missing or
+// over budget. Unlike timings, allocation counts are deterministic at
+// steady state, so they can gate CI.
+func runGate(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 2 {
+		cli.Errorf(stderr, "benchjson: -gate needs exactly two files: budget.json current.json\n")
+		return 2
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		cli.Errorf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	var budgets map[string]float64
+	if err := json.Unmarshal(data, &budgets); err != nil {
+		cli.Errorf(stderr, "benchjson: budget file %s: %v\n", args[0], err)
+		return 1
+	}
+	if len(budgets) == 0 {
+		cli.Errorf(stderr, "benchjson: budget file %s has no entries\n", args[0])
+		return 1
+	}
+	cur, err := loadBaseline(args[1])
+	if err != nil {
+		cli.Errorf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	names := make([]string, 0, len(budgets))
+	for name := range budgets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := cli.NewWriter(stdout)
+	failed := 0
+	for _, name := range names {
+		res, ok := cur[name]
+		if !ok {
+			cli.Errorf(stderr, "benchjson: budgeted benchmark %s missing from %s\n", name, args[1])
+			failed++
+			continue
+		}
+		if res.AllocsPerOp > budgets[name] {
+			cli.Errorf(stderr, "benchjson: %s: %.0f allocs/op exceeds budget %.0f\n", name, res.AllocsPerOp, budgets[name])
+			failed++
+			continue
+		}
+		out.Printf("ok: %s %.0f allocs/op within budget %.0f\n", name, res.AllocsPerOp, budgets[name])
+	}
+	if err := out.Err(); err != nil {
+		cli.Errorf(stderr, "benchjson: writing gate report: %v\n", err)
+		return 1
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
 }
 
 // diffRow is one benchmark's old/new pairing.

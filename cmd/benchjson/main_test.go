@@ -160,3 +160,84 @@ func TestDiffUsageAndMissingFile(t *testing.T) {
 		t.Errorf("missing file: exit %d, want 1 (stderr %q)", code, errBuf.String())
 	}
 }
+
+func writeJSON(t *testing.T, name string, v any) string {
+	t.Helper()
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGatePassesWithinBudget(t *testing.T) {
+	budget := writeJSON(t, "budget.json", map[string]float64{
+		"energyprop.BenchmarkDVFSComparison": 28500,
+		"energyprop.BenchmarkZeroAlloc":      0,
+	})
+	cur := writeBaseline(t, map[string]Result{
+		"energyprop.BenchmarkDVFSComparison": {Iterations: 1, NsPerOp: 5e7, AllocsPerOp: 16000},
+		"energyprop.BenchmarkZeroAlloc":      {Iterations: 1, NsPerOp: 100, AllocsPerOp: 0},
+	})
+	var out, errBuf bytes.Buffer
+	if code := runGate([]string{budget, cur}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "ok: energyprop.BenchmarkDVFSComparison 16000 allocs/op within budget 28500") {
+		t.Errorf("gate report missing ok line:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOverBudgetAndMissing(t *testing.T) {
+	budget := writeJSON(t, "budget.json", map[string]float64{
+		"energyprop.BenchmarkHot":    100,
+		"energyprop.BenchmarkAbsent": 10,
+	})
+	cur := writeBaseline(t, map[string]Result{
+		"energyprop.BenchmarkHot": {Iterations: 1, NsPerOp: 100, AllocsPerOp: 250},
+	})
+	var out, errBuf bytes.Buffer
+	if code := runGate([]string{budget, cur}, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), "250 allocs/op exceeds budget 100") {
+		t.Errorf("over-budget not reported: %q", errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "BenchmarkAbsent missing") {
+		t.Errorf("missing benchmark not reported: %q", errBuf.String())
+	}
+}
+
+func TestGateUsageAndBadFiles(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := runGate([]string{"one.json"}, &out, &errBuf); code != 2 {
+		t.Errorf("one arg: exit %d, want 2", code)
+	}
+	empty := writeJSON(t, "empty.json", map[string]float64{})
+	cur := writeBaseline(t, map[string]Result{"pkg.BenchmarkA": {Iterations: 1, NsPerOp: 1}})
+	errBuf.Reset()
+	if code := runGate([]string{empty, cur}, &out, &errBuf); code != 1 {
+		t.Errorf("empty budget: exit %d, want 1 (stderr %q)", code, errBuf.String())
+	}
+}
+
+// TestZeroAllocFieldsAreEmitted: a zero-alloc benchmark's bytes and
+// allocs must appear in the JSON (no omitempty) so baseline diffs and
+// budget gates can see the zero.
+func TestZeroAllocFieldsAreEmitted(t *testing.T) {
+	input := `pkg: energyprop
+BenchmarkGemmBlockedTiled256-8 	       5	  12233229 ns/op	 128.57 MB/s	       0 B/op	       0 allocs/op
+`
+	var out, errBuf bytes.Buffer
+	if code := run(strings.NewReader(input), &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errBuf.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, `"allocs_per_op": 0`) || !strings.Contains(text, `"bytes_per_op": 0`) {
+		t.Errorf("zero alloc fields omitted from baseline:\n%s", text)
+	}
+}

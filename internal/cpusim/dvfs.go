@@ -35,30 +35,35 @@ func FrequencyLevels() []float64 {
 // tracks frequency); uncore power scales partially; dTLB power follows
 // the page-walk rate, which tracks the achieved traffic rate.
 func (m *Machine) RunGEMMAtFrequency(app GEMMApp, freqGHz float64) (*Result, error) {
+	out := &Result{}
+	if err := m.RunGEMMAtFrequencyInto(app, freqGHz, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunGEMMAtFrequencyInto is RunGEMMAtFrequency writing into a
+// caller-owned result. The frequency scaling threads the scaled compute
+// rate through the shared engine instead of copying the whole Machine
+// with a scaled calibration, so a DVFS sweep is O(levels) cheap reruns
+// over the cached placement and decomposition.
+func (m *Machine) RunGEMMAtFrequencyInto(app GEMMApp, freqGHz float64, out *Result) error {
 	if freqGHz < 0.8 || freqGHz > 3.5 {
-		return nil, fmt.Errorf("cpusim: frequency %.2f GHz outside the plausible 0.8..3.5 range", freqGHz)
+		return fmt.Errorf("cpusim: frequency %.2f GHz outside the plausible 0.8..3.5 range", freqGHz)
 	}
 	rel := freqGHz / NominalGHz
 
-	// Re-run the machine model with scaled compute rates. The cleanest
-	// way without duplicating the contention logic is to scale the
-	// calibration for this run.
-	scaled := *m
-	cal := m.cal
-	cal.perThreadGFLOPs *= rel
-	scaled.cal = cal
-	r, err := scaled.RunGEMM(app)
-	if err != nil {
-		return nil, err
+	if err := m.runGEMMScaled(app, rel, out); err != nil {
+		return err
 	}
 
 	// Rescale the power components for voltage: core power already
 	// reflects utilization u at the scaled speed, but the per-core
 	// coefficient a itself shrinks as f·V² ≈ rel³ relative to nominal
-	// (RunGEMM used the nominal CorePowerW).
+	// (the engine used the nominal CorePowerW).
 	coreScale := rel * rel * rel
 	uncoreScale := 0.4 + 0.6*rel
-	pw := r.Power
+	pw := out.Power
 	pw.CoreW *= coreScale
 	pw.UncoreW *= uncoreScale
 	// dTLB power already tracks the achieved page rate via the scaled
@@ -66,10 +71,10 @@ func (m *Machine) RunGEMMAtFrequency(app GEMMApp, freqGHz float64) (*Result, err
 	// circuitry itself.
 	pw.DTLBW *= math.Min(1, 0.5+0.5*rel)
 
-	r.Power = pw
-	r.DynPowerW = pw.TotalW()
-	r.DynEnergyJ = r.DynPowerW * r.Seconds
-	return r, nil
+	out.Power = pw
+	out.DynPowerW = pw.TotalW()
+	out.DynEnergyJ = out.DynPowerW * out.Seconds
+	return nil
 }
 
 // DVFSSweep runs one configuration across every frequency level and
@@ -101,11 +106,13 @@ type FreqConfigResult struct {
 // matrix size and variant. The caller typically feeds the results to the
 // pareto package; the combined front dominates both single-knob fronts.
 func (m *Machine) CombinedSweep(n int, v dense.Variant) ([]FreqConfigResult, error) {
-	var out []FreqConfigResult
-	for _, freq := range FrequencyLevels() {
-		for _, cfg := range m.EnumerateConfigs() {
-			r, err := m.RunGEMMAtFrequency(GEMMApp{N: n, Config: cfg, Variant: v}, freq)
-			if err != nil {
+	levels := FrequencyLevels()
+	cfgs := m.EnumerateConfigs()
+	out := make([]FreqConfigResult, 0, len(levels)*len(cfgs))
+	for _, freq := range levels {
+		for _, cfg := range cfgs {
+			r := &Result{}
+			if err := m.RunGEMMAtFrequencyInto(GEMMApp{N: n, Config: cfg, Variant: v}, freq, r); err != nil {
 				return nil, err
 			}
 			out = append(out, FreqConfigResult{FreqGHz: freq, Config: cfg, Result: r})

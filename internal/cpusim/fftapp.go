@@ -16,21 +16,30 @@ import (
 // the cyclic partition interleaves rows across threads, which costs TLB
 // locality in the strided column pass.
 func (m *Machine) RunFFT2DThreaded(n int, cfg dense.Config) (*Result, error) {
+	out := &Result{}
+	if err := m.RunFFT2DThreadedInto(n, cfg, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunFFT2DThreadedInto is RunFFT2DThreaded writing into a caller-owned
+// result; a warm rerun is allocation-free (the flop shares live in the
+// machine's run scratch).
+func (m *Machine) RunFFT2DThreadedInto(n int, cfg dense.Config, out *Result) error {
 	if n < 2 {
-		return nil, fmt.Errorf("cpusim: FFT size %d must be >= 2", n)
+		return fmt.Errorf("cpusim: FFT size %d must be >= 2", n)
 	}
 	if err := cfg.Validate(n); err != nil {
-		return nil, err
+		return err
+	}
+	placement, err := m.placementFor(cfg, PlacementGroupRoundRobin)
+	if err != nil {
+		return err
 	}
 	cal := &m.cal
 	work := fft.Work(n)
 	threads := cfg.Threads()
-
-	// Equal flop shares (the row/column passes divide exactly).
-	flops := make([]float64, threads)
-	for i := range flops {
-		flops[i] = work / float64(threads)
-	}
 
 	// Traffic character: the FFT's bytes-per-flop follows the cache
 	// regimes of the strong-EP model; FFT butterflies also run at a lower
@@ -52,20 +61,24 @@ func (m *Machine) RunFFT2DThreaded(n int, cfg dense.Config) (*Result, error) {
 		tlbFactor *= cal.cyclicTLBFactor
 	}
 	bytesPerFlop := traffic / work
-	// FFT compute efficiency relative to DGEMM: scale the flop shares up
-	// so the engine's DGEMM-calibrated rate yields FFT-realistic times.
+	// FFT compute efficiency relative to DGEMM: scale the equal flop
+	// shares (the row/column passes divide exactly) up so the engine's
+	// DGEMM-calibrated rate yields FFT-realistic times.
 	const fftComputePenalty = 1 / 0.45
-	scaled := make([]float64, threads)
+	share := work / float64(threads)
+	out.ensureSized(threads, m.Spec.LogicalCores())
+	sc := m.getScratch()
+	flops := sc.flops[:threads]
 	for i := range flops {
-		scaled[i] = flops[i] * fftComputePenalty
+		flops[i] = share * fftComputePenalty
 	}
-
-	r, err := m.runThreads(cfg, PlacementGroupRoundRobin, scaled, bytesPerFlop/fftComputePenalty, 1.0, tlbFactor)
+	err = m.runThreads(cfg, placement, flops, cal.perThreadGFLOPs, bytesPerFlop/fftComputePenalty, 1.0, tlbFactor, sc, out)
+	m.putScratch(sc)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	r.App = GEMMApp{N: n, Config: cfg}
-	r.AppName = "fft2d"
-	r.GFLOPs = work / r.Seconds / 1e9
-	return r, nil
+	out.App = GEMMApp{N: n, Config: cfg}
+	out.AppName = "fft2d"
+	out.GFLOPs = work / out.Seconds / 1e9
+	return nil
 }

@@ -20,6 +20,7 @@ package cpusim
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"energyprop/internal/dense"
 	"energyprop/internal/hw"
@@ -70,10 +71,23 @@ func haswellCalibration() calibration {
 	}
 }
 
-// Machine is one simulated multicore node.
+// Machine is one simulated multicore node. A Machine is safe for
+// concurrent use by the campaign engine: the model itself is pure, and
+// the run scratch and derived-input caches (see scratch.go) are pooled
+// and locked. Machines must not be copied once used.
 type Machine struct {
 	Spec *hw.CPUSpec
 	cal  calibration
+
+	// mu guards the derived-input caches below. Scratch lives in pools
+	// of its own so concurrent runs never contend on buffers.
+	mu         sync.RWMutex
+	placements map[placementKey][]int
+	gemmFlops  map[flopsKey][]float64
+	configs    []dense.Config
+
+	scratch sync.Pool // *runScratch
+	procs   sync.Pool // *procScratch
 }
 
 // NewMachine builds a simulated machine for a catalog CPU spec.
@@ -84,7 +98,12 @@ func NewMachine(spec *hw.CPUSpec) (*Machine, error) {
 	if spec.PhysicalCores() < 1 || spec.MemBandwidthGBs <= 0 || spec.PeakGFLOPs <= 0 {
 		return nil, fmt.Errorf("cpusim: spec %q has non-positive machine parameters", spec.Name)
 	}
-	return &Machine{Spec: spec, cal: haswellCalibration()}, nil
+	return &Machine{
+		Spec:       spec,
+		cal:        haswellCalibration(),
+		placements: make(map[placementKey][]int),
+		gemmFlops:  make(map[flopsKey][]float64),
+	}, nil
 }
 
 // NewHaswell returns the simulated dual-socket Haswell node of Table I.
@@ -265,12 +284,37 @@ func (m *Machine) socketOf(l int) int {
 
 // RunGEMM simulates one Fig 4 configuration.
 func (m *Machine) RunGEMM(app GEMMApp) (*Result, error) {
-	if app.N < 1 {
-		return nil, fmt.Errorf("cpusim: N=%d must be >= 1", app.N)
-	}
-	assigns, err := dense.Decompose(app.N, app.Config)
-	if err != nil {
+	out := &Result{}
+	if err := m.RunGEMMInto(app, out); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// RunGEMMInto is RunGEMM writing into a caller-owned result. Reusing the
+// same Result across calls makes a warm run allocation-free: the
+// result's slices, the run scratch, the thread placement, and the
+// decomposed flop shares are all sized on first use and recycled.
+func (m *Machine) RunGEMMInto(app GEMMApp, out *Result) error {
+	return m.runGEMMScaled(app, 1, out)
+}
+
+// runGEMMScaled is the shared body of RunGEMMInto and the DVFS path:
+// rel scales the calibration's per-thread compute rate (1 at the
+// nominal clock). Scaling the rate here instead of copying the whole
+// machine with a scaled calibration keeps frequency reruns cheap and
+// lets every level share the cached placement and decomposition.
+func (m *Machine) runGEMMScaled(app GEMMApp, rel float64, out *Result) error {
+	if app.N < 1 {
+		return fmt.Errorf("cpusim: N=%d must be >= 1", app.N)
+	}
+	flops, err := m.gemmFlopsFor(app.N, app.Config)
+	if err != nil {
+		return err
+	}
+	placement, err := m.placementFor(app.Config, app.Placement)
+	if err != nil {
+		return err
 	}
 	cal := &m.cal
 	bytesPerFlop := cal.bytesPerFlopPacked
@@ -289,56 +333,68 @@ func (m *Machine) RunGEMM(app GEMMApp) (*Result, error) {
 		tlbFactor *= cal.tiledTLBFactor
 	}
 	n := float64(app.N)
-	flops := make([]float64, app.Config.Threads())
-	for i := range flops {
-		flops[i] = 2 * n * n * float64(assigns[i].RowCount)
-	}
-	r, err := m.runThreads(app.Config, app.Placement, flops, bytesPerFlop, trafficFactor, tlbFactor)
+	out.ensureSized(app.Config.Threads(), m.Spec.LogicalCores())
+	sc := m.getScratch()
+	err = m.runThreads(app.Config, placement, flops, cal.perThreadGFLOPs*rel, bytesPerFlop, trafficFactor, tlbFactor, sc, out)
+	m.putScratch(sc)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	r.App = app
-	r.AppName = "dgemm"
-	r.GFLOPs = 2 * n * n * n / r.Seconds / 1e9
-	return r, nil
+	out.App = app
+	out.AppName = "dgemm"
+	out.GFLOPs = 2 * n * n * n / out.Seconds / 1e9
+	return nil
 }
 
 // runThreads is the shared execution engine for load-balanced
-// multithreaded applications: given a per-thread flop vector and the
-// application's traffic/TLB character, it places the threads, applies the
-// contention roofline, accounts per-core utilization, and evaluates the
-// component power model. Callers fill in the application identity and
-// performance metric on the returned result.
-func (m *Machine) runThreads(cfg dense.Config, policy Placement, flops []float64, bytesPerFlop, trafficFactor, tlbFactor float64) (*Result, error) {
-	placement, err := m.threadPlacement(cfg, policy)
-	if err != nil {
-		return nil, err
-	}
+// multithreaded applications: given the (cached) thread placement, a
+// per-thread flop vector, and the application's traffic/TLB character,
+// it applies the contention roofline, accounts per-core utilization, and
+// evaluates the component power model into the caller-owned result.
+// Callers fill in the application identity and performance metric.
+//
+// Preconditions (established by the exported entry points): placement
+// has cfg.Threads() elements, sc's buffers are sized for the machine
+// spec, and out's slices are sized via ensureSized. The body performs no
+// allocation — every buffer is caller-provided — so warm reruns are
+// allocation-free at steady state.
+//
+//lint:root hotalloc the execution engine runs once per (config, frequency, repetition) point of every CPU sweep; all buffers are caller-provided scratch
+func (m *Machine) runThreads(cfg dense.Config, placement []int, flops []float64, perThreadGFLOPs, bytesPerFlop, trafficFactor, tlbFactor float64, sc *runScratch, out *Result) error {
 	spec, cal := m.Spec, &m.cal
 	threads := cfg.Threads()
 	if len(flops) != threads {
-		return nil, fmt.Errorf("cpusim: %d flop shares for %d threads", len(flops), threads)
+		return fmt.Errorf("cpusim: %d flop shares for %d threads", len(flops), threads)
+	}
+	if len(placement) != threads {
+		return fmt.Errorf("cpusim: placement has %d cores for %d threads", len(placement), threads)
 	}
 	logical := spec.LogicalCores()
 
 	// Per-thread compute rate: siblings sharing a physical core split the
 	// core's hyperthreaded combined throughput.
-	physLoad := make([]int, spec.PhysicalCores())
+	physLoad := sc.physLoad[:spec.PhysicalCores()]
+	for i := range physLoad {
+		physLoad[i] = 0
+	}
 	for _, l := range placement {
 		physLoad[m.physicalOf(l)]++
 	}
-	rate := make([]float64, threads)
+	rate := sc.rate[:threads]
 	for i, l := range placement {
-		r := cal.perThreadGFLOPs
+		r := perThreadGFLOPs
 		if physLoad[m.physicalOf(l)] > 1 {
-			r = cal.perThreadGFLOPs * cal.htCombinedFactor / 2
+			r = perThreadGFLOPs * cal.htCombinedFactor / 2
 		}
 		rate[i] = r
 	}
 
 	// Per-thread DRAM traffic.
-	bytes := make([]float64, threads)
-	socketThreads := make([]int, spec.Sockets)
+	bytes := sc.bytes[:threads]
+	socketThreads := sc.socketThreads[:spec.Sockets]
+	for i := range socketThreads {
+		socketThreads[i] = 0
+	}
 	for i := range placement {
 		bytes[i] = flops[i] * bytesPerFlop * trafficFactor
 		socketThreads[m.socketOf(placement[i])]++
@@ -347,7 +403,7 @@ func (m *Machine) runThreads(cfg dense.Config, policy Placement, flops []float64
 	// Roofline per thread: compute time vs memory time at an equal share
 	// of the socket's bandwidth.
 	socketBW := spec.MemBandwidthGBs * 1e9 / float64(spec.Sockets)
-	tThread := make([]float64, threads)
+	tThread := out.ThreadSeconds[:threads]
 	T := 0.0
 	for i := range tThread {
 		tc := flops[i] / (rate[i] * 1e9)
@@ -359,13 +415,16 @@ func (m *Machine) runThreads(cfg dense.Config, policy Placement, flops []float64
 		}
 	}
 	if T <= 0 {
-		return nil, fmt.Errorf("cpusim: degenerate run (no work)")
+		return fmt.Errorf("cpusim: degenerate run (no work)")
 	}
 
 	// Utilization per logical core: a thread keeps its core busy for its
 	// own completion time; the application ends when the slowest thread
 	// does. Idle cores contribute zero.
-	coreUtil := make([]float64, logical)
+	coreUtil := out.CoreUtil[:logical]
+	for i := range coreUtil {
+		coreUtil[i] = 0
+	}
 	for i, l := range placement {
 		coreUtil[l] = tThread[i] / T
 	}
@@ -378,8 +437,10 @@ func (m *Machine) runThreads(cfg dense.Config, policy Placement, flops []float64
 	// Power components.
 	var pw PowerBreakdown
 	// Core power: P = a·U per core; a second hyperthread adds a fraction.
-	type pair struct{ hi, lo float64 }
-	perPhys := make([]pair, spec.PhysicalCores())
+	perPhys := sc.perPhys[:spec.PhysicalCores()]
+	for i := range perPhys {
+		perPhys[i] = powerPair{}
+	}
 	for i, l := range placement {
 		p := m.physicalOf(l)
 		u := tThread[i] / T
@@ -419,30 +480,37 @@ func (m *Machine) runThreads(cfg dense.Config, policy Placement, flops []float64
 	tlbActivity := math.Min(1, pageRate/cal.tlbPagesPerSecondCapacity)
 	pw.DTLBW = spec.DTLBPowerW * tlbActivity
 
-	return &Result{
-		Seconds:       T,
-		CoreUtil:      coreUtil,
-		AvgUtil:       avg,
-		DynPowerW:     pw.TotalW(),
-		DynEnergyJ:    pw.TotalW() * T,
-		Power:         pw,
-		ThreadSeconds: tThread,
-	}, nil
+	out.Seconds = T
+	out.AvgUtil = avg
+	out.DynPowerW = pw.TotalW()
+	out.DynEnergyJ = pw.TotalW() * T
+	out.Power = pw
+	return nil
 }
 
 // EnumerateConfigs returns the Fig 4 configuration space: every
 // (partition, groups, threads-per-group) combination with at most the
 // machine's logical core count of threads. Group counts are limited to 8
-// as in the paper's threadgroup application.
+// as in the paper's threadgroup application. The space is enumerated
+// once per machine; callers receive a fresh copy they may reorder.
 func (m *Machine) EnumerateConfigs() []dense.Config {
-	logical := m.Spec.LogicalCores()
-	var out []dense.Config
-	for _, part := range []dense.Partition{dense.PartitionContiguous, dense.PartitionCyclic} {
-		for p := 1; p <= 8; p++ {
-			for t := 1; p*t <= logical; t++ {
-				out = append(out, dense.Config{Groups: p, ThreadsPerGroup: t, Partition: part})
+	m.mu.RLock()
+	cached := m.configs
+	m.mu.RUnlock()
+	if cached == nil {
+		logical := m.Spec.LogicalCores()
+		for _, part := range []dense.Partition{dense.PartitionContiguous, dense.PartitionCyclic} {
+			for p := 1; p <= 8; p++ {
+				for t := 1; p*t <= logical; t++ {
+					cached = append(cached, dense.Config{Groups: p, ThreadsPerGroup: t, Partition: part})
+				}
 			}
 		}
+		m.mu.Lock()
+		m.configs = cached
+		m.mu.Unlock()
 	}
+	out := make([]dense.Config, len(cached))
+	copy(out, cached)
 	return out
 }

@@ -104,10 +104,15 @@ func (m *Machine) CollectPMC(r *Result) (PMCCounts, error) {
 	walkCycles := walkRate * r.Seconds * cyclesPerWalk
 	// Uncore residency: sockets with at least one busy core, times the run
 	// duration.
-	activeSockets := map[int]bool{}
-	for l, u := range r.CoreUtil {
-		if u > 0 {
-			activeSockets[m.socketOf(l)] = true
+	activeSockets := 0
+	for s := 0; s < spec.Sockets; s++ {
+		for c := 0; c < spec.CoresPerSocket; c++ {
+			l := s*spec.CoresPerSocket + c
+			hyper := spec.PhysicalCores() + l
+			if r.CoreUtil[l] > 0 || (hyper < len(r.CoreUtil) && r.CoreUtil[hyper] > 0) {
+				activeSockets++
+				break
+			}
 		}
 	}
 	return PMCCounts{
@@ -115,7 +120,7 @@ func (m *Machine) CollectPMC(r *Result) (PMCCounts, error) {
 		PMCCoreCycles:       cycles,
 		PMCDTLBWalkCycles:   walkCycles,
 		PMCLLCMisses:        llcMisses,
-		PMCUncoreResidencyS: float64(len(activeSockets)) * r.Seconds,
+		PMCUncoreResidencyS: float64(activeSockets) * r.Seconds,
 		PMCAvgUtilization:   100 * r.AvgUtil,
 	}, nil
 }

@@ -1,0 +1,162 @@
+package cpusim
+
+import (
+	"energyprop/internal/dense"
+	"energyprop/internal/hw"
+)
+
+// Per-machine run scratch and derived-input caches. The measurement hot
+// path runs one configuration thousands of times per sweep (every
+// frequency level, every campaign repetition), so the ~10 per-run
+// buffers the execution engine needs are pooled per machine, and the two
+// run-invariant derived inputs — thread placements (a function of
+// (config, policy) only) and DGEMM flop shares (a function of (N,
+// config) only) — are computed once and cached. All caches are guarded
+// by Machine.mu and safe for the concurrent campaign engine; cached
+// slices are immutable once published and shared by readers without
+// copying.
+
+// cacheMaxEntries bounds each derived-input cache. A long-lived serving
+// process can be asked to sweep arbitrarily many distinct (N, config)
+// pairs; when a cache fills, it is dropped wholesale (the entries are
+// cheap to recompute) rather than growing without bound.
+const cacheMaxEntries = 4096
+
+// runScratch holds the per-run working buffers of the execution engine.
+// Sizes are functions of the machine spec alone, so a scratch sized once
+// fits every later run on the same machine.
+type runScratch struct {
+	physLoad      []int       // per-physical-core thread count
+	socketThreads []int       // per-socket thread count
+	rate          []float64   // per-thread compute rate
+	bytes         []float64   // per-thread DRAM traffic
+	perPhys       []powerPair // per-physical-core top-two utilizations
+	flops         []float64   // per-thread flop shares (FFT path)
+}
+
+// powerPair is the top-two per-core utilizations feeding the
+// hyperthread-aware core power model.
+type powerPair struct{ hi, lo float64 }
+
+// ensure sizes every buffer for the spec. Growth happens at most once
+// per scratch; afterwards the reslices are allocation-free.
+func (sc *runScratch) ensure(spec *hw.CPUSpec) {
+	phys, sockets, logical := spec.PhysicalCores(), spec.Sockets, spec.LogicalCores()
+	if cap(sc.physLoad) < phys {
+		sc.physLoad = make([]int, phys)
+	}
+	if cap(sc.socketThreads) < sockets {
+		sc.socketThreads = make([]int, sockets)
+	}
+	if cap(sc.rate) < logical {
+		sc.rate = make([]float64, logical)
+	}
+	if cap(sc.bytes) < logical {
+		sc.bytes = make([]float64, logical)
+	}
+	if cap(sc.perPhys) < phys {
+		sc.perPhys = make([]powerPair, phys)
+	}
+	if cap(sc.flops) < logical {
+		sc.flops = make([]float64, logical)
+	}
+}
+
+// getScratch takes a sized scratch from the machine's pool.
+func (m *Machine) getScratch() *runScratch {
+	sc, _ := m.scratch.Get().(*runScratch)
+	if sc == nil {
+		sc = &runScratch{}
+	}
+	sc.ensure(m.Spec)
+	return sc
+}
+
+// putScratch returns a scratch to the pool.
+func (m *Machine) putScratch(sc *runScratch) { m.scratch.Put(sc) }
+
+// placementKey identifies one cached thread placement.
+type placementKey struct {
+	cfg    dense.Config
+	policy Placement
+}
+
+// placementFor returns the thread placement for (config, policy),
+// computing and caching it on first use. Placement depends only on the
+// configuration shape and the binding policy — not on N, the variant, or
+// the DVFS level — so every rerun of a configuration shares one slice.
+// The returned slice is shared and must not be mutated.
+func (m *Machine) placementFor(cfg dense.Config, policy Placement) ([]int, error) {
+	key := placementKey{cfg, policy}
+	m.mu.RLock()
+	p, ok := m.placements[key]
+	m.mu.RUnlock()
+	if ok {
+		return p, nil
+	}
+	p, err := m.threadPlacement(cfg, policy)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if m.placements == nil || len(m.placements) >= cacheMaxEntries {
+		m.placements = make(map[placementKey][]int)
+	}
+	m.placements[key] = p
+	m.mu.Unlock()
+	return p, nil
+}
+
+// flopsKey identifies one cached DGEMM flop-share vector.
+type flopsKey struct {
+	n   int
+	cfg dense.Config
+}
+
+// gemmFlopsFor returns the per-thread flop shares of an N×N DGEMM under
+// the configuration's decomposition, computing the per-thread row counts
+// once and caching the shares. Only the row counts matter to the
+// execution model, so the (potentially large) cyclic range lists are
+// never materialized. The returned slice is shared and must not be
+// mutated.
+func (m *Machine) gemmFlopsFor(n int, cfg dense.Config) ([]float64, error) {
+	key := flopsKey{n, cfg}
+	m.mu.RLock()
+	fl, ok := m.gemmFlops[key]
+	m.mu.RUnlock()
+	if ok {
+		return fl, nil
+	}
+	counts, err := dense.RowCounts(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	nf := float64(n)
+	fl = make([]float64, cfg.Threads())
+	for i := range fl {
+		fl[i] = 2 * nf * nf * float64(counts[i])
+	}
+	m.mu.Lock()
+	if m.gemmFlops == nil || len(m.gemmFlops) >= cacheMaxEntries {
+		m.gemmFlops = make(map[flopsKey][]float64)
+	}
+	m.gemmFlops[key] = fl
+	m.mu.Unlock()
+	return fl, nil
+}
+
+// ensureSized sizes the result's retained slices for a run of the given
+// shape, reusing capacity across runs so a warm RunGEMMInto allocates
+// nothing.
+func (r *Result) ensureSized(threads, logical int) {
+	if cap(r.CoreUtil) < logical {
+		r.CoreUtil = make([]float64, logical)
+	} else {
+		r.CoreUtil = r.CoreUtil[:logical]
+	}
+	if cap(r.ThreadSeconds) < threads {
+		r.ThreadSeconds = make([]float64, threads)
+	} else {
+		r.ThreadSeconds = r.ThreadSeconds[:threads]
+	}
+}

@@ -5,6 +5,9 @@ import "testing"
 // TestGemmPackedSteadyStateAllocs: the packed kernel's pack buffer is
 // pooled, so a serial blocked GEMM allocates nothing once warm.
 func TestGemmPackedSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race runtime randomly drops sync.Pool puts, so pooled paths allocate under -race")
+	}
 	const n = 96
 	a, b := MustMatrix(n, n), MustMatrix(n, n)
 	a.FillRandom(1)
@@ -25,6 +28,9 @@ func TestGemmPackedSteadyStateAllocs(t *testing.T) {
 // bounded by goroutine-spawn overhead alone (wg plumbing and the
 // closures), independent of the grid size.
 func TestGemmSharedKernelSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race runtime randomly drops sync.Pool puts, so pooled paths allocate under -race")
+	}
 	const n, bs, groups = 96, 16, 2
 	a, b := MustMatrix(n, n), MustMatrix(n, n)
 	a.FillRandom(3)

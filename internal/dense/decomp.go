@@ -119,6 +119,45 @@ func Decompose(n int, cfg Config) ([]Assignment, error) {
 	return out, nil
 }
 
+// RowCounts returns only the per-thread row counts of Decompose, in the
+// same group-major thread order, without materializing the row ranges —
+// for callers like the machine model's flop accounting that never touch
+// matrix data. For the cyclic partition the full decomposition holds one
+// singleton range per row, so this path is O(threads) instead of O(n) in
+// both time and memory. It validates exactly like Decompose.
+func RowCounts(n int, cfg Config) ([]int, error) {
+	if err := cfg.Validate(n); err != nil {
+		return nil, err
+	}
+	threads := cfg.Threads()
+	out := make([]int, 0, threads)
+	switch cfg.Partition {
+	case PartitionContiguous:
+		for g := 0; g < cfg.Groups; g++ {
+			gLo := g * n / cfg.Groups
+			gHi := (g + 1) * n / cfg.Groups
+			gn := gHi - gLo
+			for th := 0; th < cfg.ThreadsPerGroup; th++ {
+				lo := gLo + th*gn/cfg.ThreadsPerGroup
+				hi := gLo + (th+1)*gn/cfg.ThreadsPerGroup
+				out = append(out, hi-lo)
+			}
+		}
+	case PartitionCyclic:
+		// Global thread k owns rows k, k+threads, ... below n.
+		for k := 0; k < threads; k++ {
+			count := 0
+			if k < n {
+				count = (n-1-k)/threads + 1
+			}
+			out = append(out, count)
+		}
+	default:
+		return nil, fmt.Errorf("dense: unknown partition %d", int(cfg.Partition))
+	}
+	return out, nil
+}
+
 // MaxImbalance returns the difference between the largest and smallest
 // per-thread row counts of a decomposition — 0 or 1 for a load-balanced
 // configuration.

@@ -214,3 +214,40 @@ func TestDecomposePartitionProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestRowCountsMatchesDecompose: the arithmetic fast path must agree
+// with the materialized decomposition thread by thread for every
+// partition, including uneven splits and thread counts near n.
+func TestRowCountsMatchesDecompose(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 48, 97, 256, 4352} {
+		for _, part := range []Partition{PartitionContiguous, PartitionCyclic} {
+			for p := 1; p <= 8; p++ {
+				for th := 1; p*th <= n && p*th <= 64; th++ {
+					cfg := Config{Groups: p, ThreadsPerGroup: th, Partition: part}
+					as, err := Decompose(n, cfg)
+					if err != nil {
+						t.Fatalf("Decompose(%d, %v): %v", n, cfg, err)
+					}
+					counts, err := RowCounts(n, cfg)
+					if err != nil {
+						t.Fatalf("RowCounts(%d, %v): %v", n, cfg, err)
+					}
+					if len(counts) != len(as) {
+						t.Fatalf("RowCounts(%d, %v): %d threads, Decompose has %d", n, cfg, len(counts), len(as))
+					}
+					for i, a := range as {
+						if counts[i] != a.RowCount {
+							t.Errorf("RowCounts(%d, %v)[%d] = %d, Decompose says %d", n, cfg, i, counts[i], a.RowCount)
+						}
+					}
+				}
+			}
+		}
+	}
+	if _, err := RowCounts(4, Config{Groups: 5, ThreadsPerGroup: 1}); err == nil {
+		t.Error("RowCounts accepted more threads than rows")
+	}
+	if _, err := RowCounts(8, Config{Groups: 1, ThreadsPerGroup: 1, Partition: Partition(9)}); err == nil {
+		t.Error("RowCounts accepted an unknown partition")
+	}
+}

@@ -32,13 +32,13 @@ func runCPUModel(opt Options) ([]*Table, error) {
 		energyJ float64
 	}
 	var samples []sample
+	var r cpusim.Result // reused across the sweep; warm runs are allocation-free
 	for _, cfg := range m.EnumerateConfigs() {
 		for _, v := range []dense.Variant{dense.VariantPacked, dense.VariantTiled} {
-			r, err := m.RunGEMM(cpusim.GEMMApp{N: n, Config: cfg, Variant: v})
-			if err != nil {
+			if err := m.RunGEMMInto(cpusim.GEMMApp{N: n, Config: cfg, Variant: v}, &r); err != nil {
 				return nil, err
 			}
-			c, err := m.CollectPMC(r)
+			c, err := m.CollectPMC(&r)
 			if err != nil {
 				return nil, err
 			}

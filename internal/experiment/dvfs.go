@@ -40,9 +40,9 @@ func runDVFS(opt Options) ([]*Table, error) {
 
 	// Knob 2: application configuration only, at nominal frequency.
 	var cfgPts []pareto.Point
+	var r cpusim.Result // reused across the sweep; warm runs are allocation-free
 	for _, cfg := range m.EnumerateConfigs() {
-		r, err := m.RunGEMM(cpusim.GEMMApp{N: n, Config: cfg, Variant: dense.VariantPacked})
-		if err != nil {
+		if err := m.RunGEMMInto(cpusim.GEMMApp{N: n, Config: cfg, Variant: dense.VariantPacked}, &r); err != nil {
 			return nil, err
 		}
 		cfgPts = append(cfgPts, pareto.Point{Label: cfg.String(), Time: r.Seconds, Energy: r.DynEnergyJ})

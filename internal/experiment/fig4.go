@@ -31,14 +31,14 @@ func runFig4(opt Options) ([]*Table, error) {
 		}
 		var utils, powers []float64
 		peak := 0.0
+		var r cpusim.Result // reused across the sweep; warm runs are allocation-free
 		for _, cfg := range m.EnumerateConfigs() {
-			r, err := m.RunGEMM(cpusim.GEMMApp{N: n, Config: cfg, Variant: v})
-			if err != nil {
+			if err := m.RunGEMMInto(cpusim.GEMMApp{N: n, Config: cfg, Variant: v}, &r); err != nil {
 				return nil, err
 			}
 			// Average CPU utilization via the /proc/stat code path, as
 			// the paper's methodology does.
-			before, after, err := m.ProcStatPair(r)
+			before, after, err := m.ProcStatPair(&r)
 			if err != nil {
 				return nil, err
 			}

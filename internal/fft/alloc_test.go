@@ -6,6 +6,9 @@ import "testing"
 // workers take contiguous shares, so a warm 2D transform allocates only
 // its goroutine machinery — not one column per column index.
 func TestFFT2DSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race runtime randomly drops sync.Pool puts, so pooled paths allocate under -race")
+	}
 	const n, threads = 64, 2
 	s, err := NewSignal2D(n)
 	if err != nil {

@@ -1,0 +1,8 @@
+//go:build race
+
+package fft
+
+// raceEnabled reports that this binary was built with -race. The race
+// runtime randomly drops sync.Pool puts, so pooled hot paths allocate
+// under it by design; the alloc-count guards only run without it.
+const raceEnabled = true

@@ -70,6 +70,40 @@ func Busy(n int) []int {
 	checkFixture(t, []Rule{HotAlloc{}}, "energyprop/internal/hotfix", src, nil)
 }
 
+func TestHotAllocMethodRootWithCallerScratch(t *testing.T) {
+	// The cpusim engine / stats step pattern: a blessed method that only
+	// reslices caller-provided scratch is clean, while a sibling root
+	// reaching append through a helper method is flagged at the
+	// allocation site.
+	src := `package hotfix
+
+type engine struct {
+	buf []float64
+}
+
+//lint:root hotalloc warm runs reuse machine-owned scratch
+func (e *engine) Run(xs []float64) float64 {
+	b := e.buf[:len(xs)]
+	s := 0.0
+	for i, v := range xs {
+		b[i] = v
+		s += v
+	}
+	return s
+}
+
+//lint:root hotalloc the per-observation step must stay allocation-free
+func (e *engine) Step(x float64) { e.grow(x) }
+
+func (e *engine) grow(x float64) {
+	e.buf = append(e.buf, x)
+}
+`
+	checkFixture(t, []Rule{HotAlloc{}}, "energyprop/internal/hotfix", src, []want{
+		{line: 22, rule: "hotalloc", substr: "append on a hot path"},
+	})
+}
+
 func TestHotAllocSuppression(t *testing.T) {
 	// The pool-grow idiom: an audited suppression on the amortized
 	// allocation, counted as suppressed rather than reported.

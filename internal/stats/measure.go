@@ -3,6 +3,8 @@ package stats
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sync"
 )
 
 // MeasureSpec configures the confidence-driven measurement loop described
@@ -73,6 +75,148 @@ type Measurement struct {
 	Normality *ChiSquaredResult
 }
 
+// measureState is the reusable per-measurement working set: the rolling
+// sorted view of the raw observations (for the median), the kept buffer
+// of the rejection pass, and the effective sample the convergence check
+// reads. Pooled so a measurement loop of any length allocates O(1) at
+// steady state — the former per-observation RejectOutliers + NewSample
+// rebuild copied the whole sample three times per run, an O(n²)
+// allocation pattern a 1000-run measurement turned into ~1500 slices.
+type measureState struct {
+	raw    Sample    // all observations, insertion order
+	sorted []float64 // all observations, ascending
+	kept   []float64 // rejection survivors, insertion order
+	eff    Sample    // streaming moments over kept
+}
+
+var measurePool = sync.Pool{New: func() any { return new(measureState) }}
+
+func (st *measureState) reset() {
+	st.raw.Reset()
+	st.sorted = st.sorted[:0]
+	st.kept = st.kept[:0]
+	st.eff.Reset()
+}
+
+// insertSorted inserts x into the rolling sorted buffer (binary search +
+// shift), keeping the median O(1) to read.
+func (st *measureState) insertSorted(x float64) {
+	lo, hi := 0, len(st.sorted)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if st.sorted[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	st.sorted = append(st.sorted, 0) //lint:ignore hotalloc amortized growth of the rolling sorted buffer; reused capacity across pooled measurements
+	copy(st.sorted[lo+1:], st.sorted[lo:])
+	st.sorted[lo] = x
+}
+
+// medianOfSorted returns the median of an ascending slice.
+func medianOfSorted(s []float64) float64 {
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// madFromSorted returns the (1.4826-scaled) median absolute deviation
+// around med without materializing the deviation vector: over the sorted
+// values the deviations form a descending prefix (values ≤ med) followed
+// by an ascending suffix, so the k smallest deviations fall out of a
+// two-pointer merge outward from the median.
+func (st *measureState) madFromSorted(med float64) float64 {
+	s := st.sorted
+	n := len(s)
+	// p = first index with s[p] > med.
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] <= med {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	a, b := lo-1, lo // a walks the prefix down, b walks the suffix up
+	need1 := n / 2
+	need2 := -1
+	if n%2 == 0 {
+		need1, need2 = n/2-1, n/2
+	}
+	var m1, m2 float64
+	for k := 0; k <= need1 || k <= need2; k++ {
+		var d float64
+		if a >= 0 && (b >= n || med-s[a] <= s[b]-med) {
+			d = med - s[a]
+			a--
+		} else {
+			d = s[b] - med
+			b++
+		}
+		if k == need1 {
+			m1 = d
+		}
+		if k == need2 {
+			m2 = d
+		}
+	}
+	if need2 < 0 {
+		return 1.4826 * m1
+	}
+	return 1.4826 * (m1 + m2) / 2
+}
+
+// step folds one observation in and returns the sample the convergence
+// check should see — the incremental equivalent of appending to the raw
+// sample and re-running RejectOutliers over it.
+//
+//lint:root hotalloc the per-observation step of the measurement loop runs up to MaxRuns times per metric per configuration; all buffers are pooled
+func (st *measureState) step(spec *MeasureSpec, x float64) (*Sample, int) {
+	st.raw.Add(x)
+	if spec.RejectOutliersK > 0 {
+		st.insertSorted(x)
+	}
+	return st.effective(spec)
+}
+
+// effective returns the sample the convergence check (and the final
+// summary) should see, plus the rejection count. The returned sample
+// aliases pooled state; callers must copy what they retain.
+func (st *measureState) effective(spec *MeasureSpec) (*Sample, int) {
+	if spec.RejectOutliersK <= 0 || st.raw.N() < 5 {
+		return &st.raw, 0
+	}
+	med := medianOfSorted(st.sorted)
+	mad := st.madFromSorted(med)
+	if mad == 0 {
+		// Constant-enough data: nothing can be rejected.
+		return &st.raw, 0
+	}
+	cut := spec.RejectOutliersK * mad
+	st.kept = st.kept[:0]
+	rejected := 0
+	for _, v := range st.raw.xs {
+		if math.Abs(v-med) <= cut {
+			st.kept = append(st.kept, v) //lint:ignore hotalloc amortized growth of the rejection survivor buffer; reused capacity across pooled measurements
+		} else {
+			rejected++
+		}
+	}
+	if rejected == 0 || len(st.kept) == 0 {
+		return &st.raw, 0
+	}
+	st.eff.Reset()
+	for _, v := range st.kept {
+		st.eff.Add(v)
+	}
+	return &st.eff, rejected
+}
+
 // Measure repeatedly invokes observe and accumulates its results until the
 // sample mean satisfies the spec's confidence/precision target. observe may
 // return an error to abort the measurement.
@@ -80,32 +224,21 @@ func Measure(spec MeasureSpec, observe func() (float64, error)) (*Measurement, e
 	if err := validateSpec(&spec); err != nil {
 		return nil, err
 	}
-	raw := &Sample{}
-	// effective returns the sample the convergence check (and the final
-	// summary) should see, plus the rejection count.
-	effective := func() (*Sample, int) {
-		if spec.RejectOutliersK <= 0 || raw.N() < 5 {
-			return raw, 0
-		}
-		kept, rejected, err := RejectOutliers(raw.Values(), spec.RejectOutliersK)
-		if err != nil || rejected == 0 {
-			return raw, 0
-		}
-		return NewSample(kept...), rejected
-	}
+	st := measurePool.Get().(*measureState)
+	st.reset()
+	defer measurePool.Put(st)
 	for run := 0; run < spec.MaxRuns; run++ {
 		x, err := observe()
 		if err != nil {
 			return nil, fmt.Errorf("stats: observation %d failed: %w", run+1, err)
 		}
-		raw.Add(x)
-		s, rejected := effective()
+		s, rejected := st.step(&spec, x)
 		if s.N() >= spec.MinRuns && s.WithinPrecision(spec.Confidence, spec.Precision) {
 			return finishMeasurement(spec, s, rejected), nil
 		}
 	}
-	s, rejected := effective()
-	return finishMeasurement(spec, s, rejected), fmt.Errorf("stats: %d runs: %w", raw.N(), ErrNoConvergence)
+	s, rejected := st.effective(&spec)
+	return finishMeasurement(spec, s, rejected), fmt.Errorf("stats: %d runs: %w", st.raw.N(), ErrNoConvergence)
 }
 
 func validateSpec(spec *MeasureSpec) error {
@@ -129,13 +262,15 @@ func validateSpec(spec *MeasureSpec) error {
 
 // finishMeasurement assembles the Measurement from the effective sample;
 // it is total (a half-width that cannot be computed is reported as 0).
+// The effective sample aliases pooled loop state, so the retained sample
+// is a fresh copy.
 func finishMeasurement(spec MeasureSpec, s *Sample, rejected int) *Measurement {
 	hw, err := s.ConfidenceHalfWidth(spec.Confidence)
 	if err != nil {
 		hw = 0
 	}
 	m := &Measurement{
-		Sample:    s,
+		Sample:    NewSample(s.xs...),
 		Rejected:  rejected,
 		Mean:      s.Mean(),
 		HalfWidth: hw,

@@ -1,0 +1,9 @@
+//go:build race
+
+package stats
+
+// raceEnabled reports that this binary was built with -race. The race
+// runtime randomly drops sync.Pool puts, so the pooled measurement
+// state allocates under it by design; the alloc-count guards only run
+// without it.
+const raceEnabled = true

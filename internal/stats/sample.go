@@ -9,20 +9,55 @@ import (
 // Sample accumulates scalar observations and answers the summary questions
 // the measurement methodology asks: mean, variance, confidence half-width.
 // The zero value is an empty sample ready to use.
+//
+// Moments are maintained streaming on Add (a running sum for the mean,
+// Welford's recurrence for the second moment, running min/max), so Mean,
+// Variance, StdErr, Min, and Max are O(1) — the convergence check the
+// measurement loop runs after every observation never walks the sample.
+// The observations themselves are retained in insertion order for
+// Values, Median, and the normality test.
 type Sample struct {
 	xs []float64
+
+	sum  float64 // running sum (Mean = sum/n, matching the former loop exactly)
+	mean float64 // Welford running mean (feeds m2 only)
+	m2   float64 // Welford sum of squared deviations
+	min  float64
+	max  float64
 }
 
 // NewSample returns a sample pre-loaded with the given observations.
 // The slice is copied.
 func NewSample(xs ...float64) *Sample {
-	s := &Sample{xs: make([]float64, len(xs))}
-	copy(s.xs, xs)
+	s := &Sample{xs: make([]float64, 0, len(xs))}
+	for _, x := range xs {
+		s.Add(x)
+	}
 	return s
 }
 
-// Add appends one observation.
-func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+// Add appends one observation and folds it into the running moments.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x) //lint:ignore hotalloc amortized growth of the retained observations; reused capacity after Reset
+	n := len(s.xs)
+	s.sum += x
+	delta := x - s.mean
+	s.mean += delta / float64(n)
+	s.m2 += delta * (x - s.mean)
+	if n == 1 || x < s.min {
+		s.min = x
+	}
+	if n == 1 || x > s.max {
+		s.max = x
+	}
+}
+
+// Reset empties the sample, retaining the observation buffer's capacity
+// so a pooled sample can be refilled without allocating.
+func (s *Sample) Reset() {
+	s.xs = s.xs[:0]
+	s.sum, s.mean, s.m2, s.min, s.max = 0, 0, 0, 0, 0
+}
 
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
@@ -39,11 +74,7 @@ func (s *Sample) Mean() float64 {
 	if len(s.xs) == 0 {
 		return 0
 	}
-	sum := 0.0
-	for _, x := range s.xs {
-		sum += x
-	}
-	return sum / float64(len(s.xs))
+	return s.sum / float64(len(s.xs))
 }
 
 // Variance returns the unbiased (n-1) sample variance, or 0 when fewer than
@@ -53,13 +84,7 @@ func (s *Sample) Variance() float64 {
 	if n < 2 {
 		return 0
 	}
-	m := s.Mean()
-	ss := 0.0
-	for _, x := range s.xs {
-		d := x - m
-		ss += d * d
-	}
-	return ss / float64(n-1)
+	return s.m2 / float64(n-1)
 }
 
 // StdDev returns the sample standard deviation.
@@ -78,13 +103,7 @@ func (s *Sample) Min() float64 {
 	if len(s.xs) == 0 {
 		panic("stats: Min of empty sample")
 	}
-	m := s.xs[0]
-	for _, x := range s.xs[1:] {
-		if x < m {
-			m = x
-		}
-	}
-	return m
+	return s.min
 }
 
 // Max returns the largest observation; it panics on an empty sample.
@@ -92,13 +111,7 @@ func (s *Sample) Max() float64 {
 	if len(s.xs) == 0 {
 		panic("stats: Max of empty sample")
 	}
-	m := s.xs[0]
-	for _, x := range s.xs[1:] {
-		if x > m {
-			m = x
-		}
-	}
-	return m
+	return s.max
 }
 
 // CV returns the coefficient of variation (stddev / |mean|), the statistic
