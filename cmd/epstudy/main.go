@@ -52,6 +52,7 @@ import (
 	"energyprop/internal/experiment"
 	"energyprop/internal/fault"
 	"energyprop/internal/fleet"
+	"energyprop/internal/policy"
 )
 
 func main() {
@@ -72,7 +73,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	markdown := fs.String("markdown", "", "write a full markdown report to this file ('-' for stdout)")
 	html := fs.String("html", "", "write a self-contained HTML report (tables + inline figures) to this file")
 	devName := fs.String("device", "", "run a measured campaign on this registered device instead of a named experiment")
-	app := fs.String("app", "dgemm", "application family for -device campaigns: dgemm or fft")
+	mode := fs.String("mode", "campaign", `what the -device run measures: "campaign" (plain sweep) or "policy" (race-to-idle vs DVFS-paced energy study)`)
+	slack := fs.Float64("slack", 0, "deadline window as a multiple of the busy interval for -mode policy (0 = 1.5)")
+	floor := fs.Float64("floor", 0, "deep-idle floor as a fraction of active idle power for -mode policy (0 = 0.3)")
+	policies := fs.String("policies", "", "comma-separated strategies for -mode policy: race, paced (empty = both)")
+	app := fs.String("app", "dgemm", "application family for -device campaigns: dgemm, fft, spmv, stencil, or compound")
 	n := fs.Int("n", 4096, "matrix/signal dimension N for -device campaigns")
 	products := fs.Int("products", 2, "total problem instances for -device campaigns")
 	reps := fs.Int("reps", 1, "repeat the -device campaign; repeats hit the in-process measurement cache")
@@ -119,16 +124,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ids = []string{*runID}
 	}
 
+	if *mode != "campaign" && *mode != "policy" {
+		cli.Errorf(stderr, "epstudy: -mode %q: want \"campaign\" or \"policy\"\n", *mode)
+		return 2
+	}
+	if *mode != "policy" && (*slack != 0 || *floor != 0 || *policies != "") {
+		cli.Errorf(stderr, "epstudy: -slack, -floor, and -policies require -mode policy\n")
+		return 2
+	}
+	if *mode == "policy" && *devName == "" {
+		cli.Errorf(stderr, "epstudy: -mode policy requires -device\n")
+		return 2
+	}
+
 	if *devName != "" {
-		t, err := runDeviceCampaign(*devName, *app, *n, *products, *reps, *retries, plan, fc, opt)
+		var tables []*experiment.Table
+		if *mode == "policy" {
+			strategies, perr := parsePolicies(*policies)
+			if perr != nil {
+				cli.Errorf(stderr, "epstudy: %v\n", perr)
+				return 2
+			}
+			popts := policy.Options{Strategies: strategies, Slack: *slack, FloorFrac: *floor}
+			tables, err = runPolicyStudy(*devName, *app, *n, *products, *reps, *retries, popts, plan, fc, opt)
+		} else {
+			var t *experiment.Table
+			t, err = runDeviceCampaign(*devName, *app, *n, *products, *reps, *retries, plan, fc, opt)
+			tables = []*experiment.Table{t}
+		}
 		if err != nil {
 			cli.Errorf(stderr, "epstudy: %v\n", err)
 			return 1
 		}
-		if *csv {
-			out.Printf("# %s\n%s\n", t.Title, t.CSV())
-		} else {
-			out.Println(t.Render())
+		for _, t := range tables {
+			if *csv {
+				out.Printf("# %s\n%s\n", t.Title, t.CSV())
+			} else {
+				out.Println(t.Render())
+			}
 		}
 		return done()
 	}

@@ -1,0 +1,271 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"energyprop/internal/campaign"
+	"energyprop/internal/device"
+	"energyprop/internal/experiment"
+	"energyprop/internal/fault"
+	"energyprop/internal/fleet"
+	"energyprop/internal/pareto"
+	"energyprop/internal/policy"
+)
+
+// parsePolicies resolves the -policies flag: a comma-separated strategy
+// list, empty meaning every registered strategy.
+func parsePolicies(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !policy.ValidStrategy(name) {
+			return nil, fmt.Errorf("-policies: unknown strategy %q (known: %v)", name, policy.Strategies())
+		}
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-policies: empty strategy list")
+	}
+	return out, nil
+}
+
+// policyFactory opens policy-wrapped devices for fleet nodes: registry
+// device, optional per-node derived fault injector, then the policy
+// wrapper — the same layering the local path uses, so fleet and local
+// policy campaigns are byte-identical.
+func policyFactory(name string, plan fault.Plan, popts policy.Options) fleet.DeviceFactory {
+	return func(node string) (device.Device, error) {
+		dev, err := device.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		if plan.Enabled() {
+			if dev, err = fault.Wrap(dev, fleet.NodePlan(plan, node)); err != nil {
+				return nil, err
+			}
+		}
+		return policy.Wrap(dev, popts)
+	}
+}
+
+// runPolicyStudy runs the race-to-idle vs DVFS-paced energy study on a
+// registered device: one measured campaign over the cross product of the
+// enabled strategies with the device's configuration space, rendered as
+// the per-point table, the per-configuration race-vs-paced comparison,
+// and the Pareto front over policy × configuration. All the campaign
+// machinery (cache, retries, fault injection, fleet executor) composes
+// exactly as in the plain -device campaign, because a policy point is
+// just another configuration.
+func runPolicyStudy(name, app string, n, products, reps, retries int, popts policy.Options, plan fault.Plan, fc fleetConfig, opt experiment.Options) ([]*experiment.Table, error) {
+	inner, err := device.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	base := inner
+	var injector *fault.Device
+	if plan.Enabled() && !fc.enabled {
+		if injector, err = fault.Wrap(base, plan); err != nil {
+			return nil, err
+		}
+		base = injector
+	}
+	dev, err := policy.Wrap(base, popts)
+	if err != nil {
+		return nil, err
+	}
+	popts = dev.Options()
+	chaos := plan.Enabled() || retries > 0
+	w := device.Workload{App: app, N: n, Products: products}.Normalized()
+	configs, err := dev.Configs(w)
+	if err != nil {
+		return nil, err
+	}
+	spec := campaign.DefaultSpec(opt.Seed)
+	spec.Workers = opt.Workers
+	spec.Cache = campaign.NewPointCache(0)
+	if chaos {
+		spec.Retry = fault.RetryPolicy{MaxAttempts: retries + 1}
+		spec.ContinueOnError = true
+	}
+	var coord *fleet.Coordinator
+	if fc.enabled {
+		coord, err = fleet.New(fleet.Options{
+			Nodes:       fc.nodes,
+			ShardSize:   fc.shardSize,
+			Parallelism: opt.Workers,
+			Chaos:       fc.chaos,
+		}, policyFactory(name, plan, popts))
+		if err != nil {
+			return nil, err
+		}
+		spec.Executor = fleet.Executor{Coord: coord}
+	}
+	for r := 0; r < reps-1; r++ {
+		if err := campaign.Stream(context.Background(), dev, w, configs, spec, campaign.Discard); err != nil {
+			return nil, err
+		}
+	}
+
+	points := &experiment.Table{
+		Title: fmt.Sprintf("Energy-policy campaign on %s (%s), %s, slack %.3g, floor %.3g",
+			dev.Spec().CatalogName, dev.Kind(), w, popts.Slack, popts.FloorFrac),
+		Columns: []string{"policy", "config", "key", "seconds", "measured_j", "ci_halfwidth_j", "runs"},
+	}
+	if chaos {
+		points.Columns = append(points.Columns, "attempts")
+	}
+	var reports []campaign.PointReport
+	var failed []campaign.PointFailure
+	totalRuns := 0
+	sink := campaign.FuncSink{AcceptFunc: func(o campaign.PointOutcome) error {
+		if o.Failure != nil {
+			failed = append(failed, *o.Failure)
+			return nil
+		}
+		p := o.Report
+		pt, ok := p.Config.(policy.Point)
+		if !ok {
+			return fmt.Errorf("policy campaign produced non-policy config %v", p.Config)
+		}
+		reports = append(reports, p)
+		totalRuns += p.Runs
+		row := []string{pt.Strategy, pt.Inner.String(), p.Config.Key(),
+			fmt.Sprintf("%.4f", p.TrueSeconds),
+			fmt.Sprintf("%.1f", p.MeasuredEnergyJ),
+			fmt.Sprintf("%.2f", p.HalfWidthJ),
+			fmt.Sprintf("%d", p.Runs)}
+		if chaos {
+			row = append(row, fmt.Sprintf("%d", p.Attempts))
+		}
+		points.AddRow(row...)
+		return nil
+	}}
+	if err := campaign.Stream(context.Background(), dev, w, configs, spec, sink); err != nil {
+		return nil, err
+	}
+	if chaos && len(reports) == 0 {
+		return nil, fmt.Errorf("all %d points failed within the retry budget", len(failed))
+	}
+	points.AddNote("campaign cost: %d total runs across %d configurations (seed %d)",
+		totalRuns, len(reports), opt.Seed)
+	points.AddNote("window: deadline = %.3g x busy, deep-idle floor = %.3g x active idle (%.1f W)",
+		popts.Slack, popts.FloorFrac, dev.Spec().IdlePowerW)
+	if reps > 1 {
+		s := spec.Cache.Stats()
+		points.AddNote("cache over %d reps: hits=%d misses=%d dedups=%d evictions=%d",
+			reps, s.Hits, s.Misses, s.Dedups, s.Evictions)
+	}
+	for _, f := range failed {
+		points.AddNote("failed: %s attempts=%d err=%v", f.Config.Key(), f.Attempts, f.Err)
+	}
+	if injector != nil {
+		s := injector.Stats()
+		points.AddNote("faults: runs=%d transients=%d drops=%d outliers=%d delays=%d",
+			s.Runs, s.Transients, s.Drops, s.Outliers, s.Delays)
+	}
+	if coord != nil {
+		s := coord.Stats()
+		points.AddNote("fleet: nodes=%d shards=%d dispatches=%d preemptions=%d cordons=%d remediations=%d",
+			coord.Options().Nodes, s.Shards, s.Dispatches, s.Preemptions, s.Cordons, s.Remediations)
+		points.AddNote("fleet events: %d entries, digest %s", len(coord.Events()), fleet.DigestEvents(coord.Events()))
+	}
+	tables := []*experiment.Table{points}
+	if cmp := comparePolicies(reports, w); cmp != nil {
+		tables = append(tables, cmp)
+	}
+	tables = append(tables, policyFront(reports, w))
+	return tables, nil
+}
+
+// comparePolicies tabulates race vs paced per inner configuration: the
+// energy question the study answers. Nil when the campaign did not run
+// both strategies.
+func comparePolicies(reports []campaign.PointReport, w device.Workload) *experiment.Table {
+	type pair struct{ race, paced *campaign.PointReport }
+	pairs := map[string]*pair{}
+	var order []string
+	for i := range reports {
+		p := reports[i]
+		pt := p.Config.(policy.Point)
+		key := pt.Inner.Key()
+		pr, ok := pairs[key]
+		if !ok {
+			pr = &pair{}
+			pairs[key] = pr
+			order = append(order, key)
+		}
+		switch pt.Strategy {
+		case policy.RaceToIdle:
+			pr.race = &reports[i]
+		case policy.DVFSPaced:
+			pr.paced = &reports[i]
+		}
+	}
+	t := &experiment.Table{
+		Title:   fmt.Sprintf("Race-to-idle vs DVFS-paced over the deadline window, %s", w),
+		Columns: []string{"config", "race_s", "race_j", "paced_s", "paced_j", "paced_minus_race_j", "winner"},
+	}
+	raceWins, pacedWins := 0, 0
+	for _, key := range order {
+		pr := pairs[key]
+		if pr.race == nil || pr.paced == nil {
+			continue
+		}
+		delta := pr.paced.MeasuredEnergyJ - pr.race.MeasuredEnergyJ
+		winner := policy.DVFSPaced
+		if delta > 0 {
+			winner = policy.RaceToIdle
+			raceWins++
+		} else {
+			pacedWins++
+		}
+		pt := pr.race.Config.(policy.Point)
+		t.AddRow(pt.Inner.String(),
+			fmt.Sprintf("%.4f", pr.race.TrueSeconds),
+			fmt.Sprintf("%.1f", pr.race.MeasuredEnergyJ),
+			fmt.Sprintf("%.4f", pr.paced.TrueSeconds),
+			fmt.Sprintf("%.1f", pr.paced.MeasuredEnergyJ),
+			fmt.Sprintf("%+.1f", delta),
+			winner)
+	}
+	if raceWins+pacedWins == 0 {
+		return nil
+	}
+	t.AddNote("winners: race %d, paced %d of %d configurations (energy above the deep-idle floor over the window)",
+		raceWins, pacedWins, raceWins+pacedWins)
+	return t
+}
+
+// policyFront renders the Pareto front over policy × configuration —
+// the front the /optimize endpoint serves incrementally.
+func policyFront(reports []campaign.PointReport, w device.Workload) *experiment.Table {
+	pts := make([]pareto.Point, 0, len(reports))
+	for _, p := range reports {
+		pts = append(pts, pareto.Point{Label: p.Config.String(), Time: p.TrueSeconds, Energy: p.MeasuredEnergyJ})
+	}
+	front := pareto.Front(pts)
+	t := &experiment.Table{
+		Title:   fmt.Sprintf("Pareto front over policy x configuration, %s", w),
+		Columns: []string{"config", "seconds", "measured_j"},
+	}
+	perStrategy := map[string]int{}
+	for _, p := range front {
+		t.AddRow(p.Label, fmt.Sprintf("%.4f", p.Time), fmt.Sprintf("%.1f", p.Energy))
+		for _, s := range policy.Strategies() {
+			if strings.HasPrefix(p.Label, "("+s+" ") {
+				perStrategy[s]++
+			}
+		}
+	}
+	t.AddNote("front: %d of %d points (race %d, paced %d)",
+		len(front), len(pts), perStrategy[policy.RaceToIdle], perStrategy[policy.DVFSPaced])
+	return t
+}

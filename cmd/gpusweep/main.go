@@ -70,7 +70,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gpusweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	devName := fs.String("device", "p100", "registered device to sweep (see -list)")
-	app := fs.String("app", "dgemm", "application family: dgemm or fft")
+	app := fs.String("app", "dgemm", "application family: dgemm, fft, spmv, stencil, or compound")
 	n := fs.Int("n", 10240, "matrix/signal dimension N")
 	products := fs.Int("products", 8, "total problem instances (G·R on a GPU)")
 	fronts := fs.Bool("fronts", false, "print Pareto fronts and trade-offs after the CSV")

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"energyprop/internal/device"
+	"energyprop/internal/policy"
 	"energyprop/internal/store"
 )
 
@@ -80,15 +81,23 @@ func TestSeedIndependentOfConfigOrder(t *testing.T) {
 func TestSerialParallelByteIdentical(t *testing.T) {
 	for _, tc := range []struct {
 		name string
+		dev  string
 		w    device.Workload
 	}{
-		{"k40c", smallWorkload()},
-		{"p100", smallWorkload()},
-		{"haswell", device.Workload{N: 48, Products: 1}},
-		{"hetero", device.Workload{N: 256, Products: 3}},
+		{"k40c", "k40c", smallWorkload()},
+		{"p100", "p100", smallWorkload()},
+		{"haswell", "haswell", device.Workload{N: 48, Products: 1}},
+		{"hetero", "hetero", device.Workload{N: 256, Products: 3}},
+		// The bandwidth-bound families ride the same contract: their
+		// configuration spaces (lanes, tiles, the compound's single
+		// point) enumerate and seed exactly like the dense knobs.
+		{"p100-spmv", "p100", device.Workload{App: device.AppSpMV, N: 2048, Products: 1}},
+		{"k40c-stencil", "k40c", device.Workload{App: device.AppStencil, N: 128, Products: 1}},
+		{"haswell-stencil", "haswell", device.Workload{App: device.AppStencil, N: 64, Products: 1}},
+		{"hetero-compound", "hetero", device.Workload{App: device.AppCompound, N: 256, Products: 2}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			dev := openDev(t, tc.name)
+			dev := openDev(t, tc.dev)
 			recordWith := func(workers int) []byte {
 				spec := DefaultSpec(31)
 				spec.Workers = workers
@@ -182,6 +191,76 @@ func TestCPUShuffledCampaignByteIdentical(t *testing.T) {
 	}
 	if !bytes.Equal(serial, reordered) {
 		t.Error("canonical and shuffled CPU campaigns differ")
+	}
+}
+
+// TestPolicyCampaignByteIdentical: wrapping a device under an energy
+// policy changes what a point measures, not how the engine schedules it.
+// Serial, parallel, and shuffled-then-restored campaigns over the policy
+// × configuration cross product must be byte-identical on every backend
+// kind — each policy point's seed hashes its full "pol=…" key, so
+// neither worker count nor enumeration order can leak into a record.
+func TestPolicyCampaignByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		dev  string
+		w    device.Workload
+	}{
+		{"p100-spmv", "p100", device.Workload{App: device.AppSpMV, N: 2048, Products: 1}},
+		{"haswell-stencil", "haswell", device.Workload{App: device.AppStencil, N: 64, Products: 1}},
+		{"hetero-compound", "hetero", device.Workload{App: device.AppCompound, N: 256, Products: 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dev, err := policy.Wrap(openDev(t, tc.dev), policy.Options{Slack: 1.7, FloorFrac: 0.35})
+			if err != nil {
+				t.Fatal(err)
+			}
+			configs, err := dev.Configs(tc.w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(configs) < 2 {
+				t.Fatalf("policy space too small to exercise ordering (%d configs)", len(configs))
+			}
+			runAs := func(order []device.Config, workers int) []byte {
+				spec := DefaultSpec(53)
+				spec.Workers = workers
+				res, err := RunConfigs(context.Background(), dev, tc.w, order, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				byKey := make(map[string]PointReport, len(res.Points))
+				for _, p := range res.Points {
+					byKey[p.Config.Key()] = p
+				}
+				ordered := &Result{Device: res.Device, Kind: res.Kind, Workload: res.Workload}
+				for _, c := range configs {
+					ordered.Points = append(ordered.Points, byKey[c.Key()])
+				}
+				rec, err := ordered.Record()
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := store.SaveCampaign(&buf, rec); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			shuffled := append([]device.Config(nil), configs...)
+			rand.New(rand.NewSource(13)).Shuffle(len(shuffled), func(i, j int) {
+				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+			})
+			serial := runAs(configs, 1)
+			parallel := runAs(configs, 8)
+			reordered := runAs(shuffled, 8)
+			if !bytes.Equal(serial, parallel) {
+				t.Error("serial and parallel policy campaigns differ")
+			}
+			if !bytes.Equal(serial, reordered) {
+				t.Error("canonical and shuffled policy campaigns differ")
+			}
+		})
 	}
 }
 

@@ -1,0 +1,140 @@
+package counters
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"energyprop/internal/gpusim"
+)
+
+func TestBandwidthCollectValidation(t *testing.T) {
+	if _, err := CollectSpMV(0, 8, 1, 1, 1328, 56); err == nil {
+		t.Error("n=0: want error")
+	}
+	if _, err := CollectSpMV(1024, 7, 1, 1, 1328, 56); err == nil {
+		t.Error("lanes=7: want error")
+	}
+	if _, err := CollectSpMV(1024, 8, 0, 1, 1328, 56); err == nil {
+		t.Error("products=0: want error")
+	}
+	if _, err := CollectSpMV(1024, 8, 1, 0, 1328, 56); err == nil {
+		t.Error("seconds=0: want error")
+	}
+	if _, err := CollectStencil(1024, 7, 1, 1, 1328, 56); err == nil {
+		t.Error("tile=7: want error")
+	}
+	if _, err := CollectStencil(8, 16, 1, 1, 1328, 56); err == nil {
+		t.Error("grid smaller than tile: want error")
+	}
+	if _, err := CollectCompound(8, 1, 1, 1, 1328, 56); err == nil {
+		t.Error("compound below canonical tile: want error")
+	}
+	if _, err := CollectCompound(1024, 1, 0, 1, 1328, 56); err == nil {
+		t.Error("zero phase seconds: want error")
+	}
+}
+
+func TestBandwidthCollectAllEventsPresent(t *testing.T) {
+	spmv, err := CollectSpMV(2048, 8, 2, 0.01, 1328, 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stencil, err := CollectStencil(2048, 16, 2, 0.01, 1328, 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compound, err := CollectCompound(2048, 2, 0.01, 0.01, 1328, 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, c := range map[string]Counts{"spmv": spmv, "stencil": stencil, "compound": compound} {
+		for _, e := range AllEvents() {
+			v, ok := c[e]
+			if !ok {
+				t.Errorf("%s: event %s missing", name, e)
+				continue
+			}
+			if v < 0 || math.IsNaN(v) {
+				t.Errorf("%s: event %s has bad value %v", name, e, v)
+			}
+		}
+		if c[SMEfficiency] > 100 {
+			t.Errorf("%s: sm_efficiency %v%% > 100%%", name, c[SMEfficiency])
+		}
+	}
+	// SpMV's warp-shuffle reduction touches no shared memory; the
+	// stencil's staged tiles do.
+	if spmv[SharedLoadTransactions] != 0 {
+		t.Errorf("spmv shared loads %v, want 0", spmv[SharedLoadTransactions])
+	}
+	if stencil[SharedLoadTransactions] <= 0 {
+		t.Error("stencil must stage through shared memory")
+	}
+}
+
+// TestBandwidthAdditivityProperty is the randomized additivity battery:
+// over 200 seeded configurations, the compound application's raw counts
+// must equal the sum of its SpMV and stencil phases' counts within
+// floating-point exactness, while the ratio metric (sm_efficiency — a
+// time-weighted average over the whole run) must fail additivity by
+// orders of magnitude more. Phase times come from the gpusim machine
+// model, so the weights are the ones a real compound run would have.
+func TestBandwidthAdditivityProperty(t *testing.T) {
+	const (
+		rawTol   = 1e-9
+		ratioMin = 1e-4
+	)
+	rng := rand.New(rand.NewSource(7))
+	d := gpusim.NewP100()
+	for trial := 0; trial < 200; trial++ {
+		n := 16 + rng.Intn(4081)
+		products := 1 + rng.Intn(8)
+		sp, err := d.RunSpMV(n, gpusim.DefaultSpMVLanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := d.RunStencil(n, gpusim.DefaultStencilTile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := float64(products)
+		spmvC, err := CollectSpMV(n, gpusim.DefaultSpMVLanes, products, sp.Seconds*fp, 1328, 56)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stencilC, err := CollectStencil(n, gpusim.DefaultStencilTile, products, st.Seconds*fp, 1328, 56)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compound, err := CollectCompound(n, products, sp.Seconds*fp, st.Seconds*fp, 1328, 56)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Additivity(compound, spmvC, stencilC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range AllEvents() {
+			if e == SMEfficiency {
+				continue
+			}
+			if rep.RelError[e] > rawTol {
+				t.Fatalf("trial %d (n=%d products=%d): raw event %s relerr %v exceeds %v",
+					trial, n, products, e, rep.RelError[e], rawTol)
+			}
+		}
+		if rep.RelError[SMEfficiency] <= ratioMin {
+			t.Fatalf("trial %d (n=%d products=%d): sm_efficiency relerr %v — a ratio metric must not look additive",
+				trial, n, products, rep.RelError[SMEfficiency])
+		}
+		// The selection step the theory prescribes: every raw event
+		// passes, the ratio metric is rejected.
+		if add := rep.Additive(rawTol); len(add) != len(AllEvents())-1 {
+			t.Fatalf("trial %d: additive set %v", trial, add)
+		}
+		if non := rep.NonAdditive(rawTol); len(non) != 1 || non[0] != SMEfficiency {
+			t.Fatalf("trial %d: non-additive set %v, want [sm_efficiency]", trial, non)
+		}
+	}
+}

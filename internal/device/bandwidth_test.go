@@ -1,0 +1,122 @@
+package device
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"energyprop/internal/meter"
+)
+
+// The bandwidth-bound families must be reachable through every builtin
+// backend with positive outcomes and a power profile whose integral
+// matches idle·T + dynamic energy — the invariant the meter pipeline
+// relies on.
+func TestBandwidthAppsOnAllBackends(t *testing.T) {
+	for _, name := range []string{"haswell", "k40c", "p100", "hetero"} {
+		dev, err := Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, app := range []string{AppSpMV, AppStencil, AppCompound} {
+			w := Workload{App: app, N: 512, Products: 2}
+			configs, err := dev.Configs(w)
+			if err != nil {
+				t.Fatalf("%s/%s Configs: %v", name, app, err)
+			}
+			if len(configs) == 0 {
+				t.Fatalf("%s/%s: empty config list", name, app)
+			}
+			out, err := dev.Run(context.Background(), w, configs[0])
+			if err != nil {
+				t.Fatalf("%s/%s Run: %v", name, app, err)
+			}
+			if out.TrueSeconds <= 0 || out.TrueEnergyJ <= 0 {
+				t.Fatalf("%s/%s: non-positive outcome %+v", name, app, out)
+			}
+			wantTotal := dev.Spec().IdlePowerW*out.TrueSeconds + out.TrueEnergyJ
+			got := meter.TrueEnergy(out.Run)
+			if rel := math.Abs(got-wantTotal) / wantTotal; rel > 1e-9 {
+				t.Errorf("%s/%s: profile energy %g J, want %g J (rel %g)", name, app, got, wantTotal, rel)
+			}
+		}
+	}
+}
+
+// Compound is the serial composition of its phases: device-level time and
+// energy must equal the per-family sums exactly (same backend, same
+// configuration, same float operations).
+func TestCompoundIsExactPhaseSum(t *testing.T) {
+	for _, name := range []string{"haswell", "p100"} {
+		dev, err := Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 1024
+		comp, err := dev.Configs(Workload{App: AppCompound, N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		co, err := dev.Run(context.Background(), Workload{App: AppCompound, N: n}, comp[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		phase := func(app string, cfg Config) *Outcome {
+			t.Helper()
+			o, err := dev.Run(context.Background(), Workload{App: app, N: n}, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return o
+		}
+		var sp, st *Outcome
+		switch dev.Kind() {
+		case "cpu":
+			sp = phase(AppSpMV, comp[0])
+			st = phase(AppStencil, comp[0])
+		default:
+			sp = phase(AppSpMV, SpMVPoint{Lanes: 8})
+			st = phase(AppStencil, StencilPoint{Tile: 16})
+		}
+		if co.TrueSeconds != sp.TrueSeconds+st.TrueSeconds {
+			t.Errorf("%s: compound time %g != %g + %g", name, co.TrueSeconds, sp.TrueSeconds, st.TrueSeconds)
+		}
+		if co.TrueEnergyJ != sp.TrueEnergyJ+st.TrueEnergyJ {
+			t.Errorf("%s: compound energy %g != %g + %g", name, co.TrueEnergyJ, sp.TrueEnergyJ, st.TrueEnergyJ)
+		}
+	}
+}
+
+func TestBandwidthAppValidation(t *testing.T) {
+	gpu, err := Open("p100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gpu.Configs(Workload{App: AppStencil, N: 4}); err == nil {
+		t.Error("stencil N below every tile must error")
+	}
+	if _, err := gpu.Configs(Workload{App: AppCompound, N: 8}); err == nil {
+		t.Error("compound N below the canonical tile must error")
+	}
+	if _, err := gpu.Configs(Workload{App: "warp", N: 64}); err == nil {
+		t.Error("unknown app must error")
+	}
+	cpu, err := Open("haswell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cpu.Configs(Workload{App: AppStencil, N: 2}); err == nil {
+		t.Error("CPU stencil N=2 must error")
+	}
+	// Wrong app/config pairing is a mismatch, not a crash.
+	if _, err := gpu.Run(context.Background(), Workload{App: AppSpMV, N: 64}, StencilPoint{Tile: 16}); err == nil {
+		t.Error("stencil config under spmv workload must error")
+	}
+	het, err := Open("hetero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := het.Configs(Workload{App: AppFFT, N: 64}); err == nil {
+		t.Error("hetero FFT must stay rejected")
+	}
+}

@@ -66,11 +66,11 @@ func (c *CPU) Configs(w Workload) ([]Config, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	if w.App != AppDense && w.App != AppFFT {
-		return nil, fmt.Errorf("device: %s cannot run application %q", c.name, w.App)
-	}
 	if w.App == AppFFT && w.N < 2 {
 		return nil, fmt.Errorf("device: FFT size %d must be >= 2", w.N)
+	}
+	if (w.App == AppStencil || w.App == AppCompound) && w.N < 3 {
+		return nil, fmt.Errorf("device: stencil grid %d must be >= 3", w.N)
 	}
 	var out []Config
 	for _, cfg := range c.m.EnumerateConfigs() {
@@ -98,6 +98,9 @@ func (c *CPU) Run(ctx context.Context, w Workload, cfg Config) (*Outcome, error)
 	if !ok {
 		return nil, configMismatch(c, cfg)
 	}
+	if w.App == AppCompound {
+		return c.runCompound(w, p)
+	}
 	var r *cpusim.Result
 	var err error
 	switch w.App {
@@ -105,6 +108,10 @@ func (c *CPU) Run(ctx context.Context, w Workload, cfg Config) (*Outcome, error)
 		r, err = c.m.RunGEMM(cpusim.GEMMApp{N: w.N, Config: p.C})
 	case AppFFT:
 		r, err = c.m.RunFFT2DThreaded(w.N, p.C)
+	case AppSpMV:
+		r, err = c.m.RunSpMVThreaded(w.N, p.C)
+	case AppStencil:
+		r, err = c.m.RunStencilThreaded(w.N, p.C)
 	default:
 		return nil, fmt.Errorf("device: %s cannot run application %q", c.name, w.App)
 	}
@@ -116,5 +123,31 @@ func (c *CPU) Run(ctx context.Context, w Workload, cfg Config) (*Outcome, error)
 		TrueSeconds: n * r.Seconds,
 		TrueEnergyJ: n * r.DynEnergyJ,
 		Run:         meter.ConstantRun{Seconds: n * r.Seconds, Watts: c.m.Spec.IdlePowerW + r.DynPowerW},
+	}, nil
+}
+
+// runCompound executes one SpMV and one stencil sweep per product under
+// the same threadgroup decomposition. The two phases run back to back,
+// so the power profile is a two-segment staircase and the compound
+// energy is exactly the sum of the phase energies — the additivity the
+// counters property tests pin down.
+func (c *CPU) runCompound(w Workload, p CPUPoint) (*Outcome, error) {
+	sp, err := c.m.RunSpMVThreaded(w.N, p.C)
+	if err != nil {
+		return nil, err
+	}
+	st, err := c.m.RunStencilThreaded(w.N, p.C)
+	if err != nil {
+		return nil, err
+	}
+	n := float64(w.Products)
+	idle := c.m.Spec.IdlePowerW
+	run := &meter.SegmentRun{}
+	run.AddSegment(n*sp.Seconds, idle+sp.DynPowerW)
+	run.AddSegment(n*st.Seconds, idle+st.DynPowerW)
+	return &Outcome{
+		TrueSeconds: n * (sp.Seconds + st.Seconds),
+		TrueEnergyJ: n * (sp.DynEnergyJ + st.DynEnergyJ),
+		Run:         run,
 	}, nil
 }

@@ -27,8 +27,10 @@ import (
 // comparable under the weak-EP definition.
 type Workload struct {
 	// App selects the application family: "dgemm" (alias "matmul", and
-	// the default when empty) or "fft". GPUs run the dense family as the
-	// paper's matmul kernel; CPUs run it as the threaded DGEMM.
+	// the default when empty), "fft", the bandwidth-bound "spmv" and
+	// "stencil" families, or "compound" (one SpMV then one stencil sweep
+	// per instance). GPUs run the dense family as the paper's matmul
+	// kernel; CPUs run it as the threaded DGEMM.
 	App string `json:"app,omitempty"`
 	// N is the square matrix / signal dimension.
 	N int
@@ -39,9 +41,26 @@ type Workload struct {
 
 // Application family names after normalization.
 const (
-	AppDense = "dgemm"
-	AppFFT   = "fft"
+	AppDense    = "dgemm"
+	AppFFT      = "fft"
+	AppSpMV     = "spmv"
+	AppStencil  = "stencil"
+	AppCompound = "compound"
 )
+
+// Apps lists the application families in canonical order.
+func Apps() []string {
+	return []string{AppDense, AppFFT, AppSpMV, AppStencil, AppCompound}
+}
+
+func knownApp(app string) bool {
+	for _, a := range Apps() {
+		if a == app {
+			return true
+		}
+	}
+	return false
+}
 
 // Normalized resolves the workload's defaults: an empty or alias App
 // becomes the canonical family name and Products=0 becomes 1.
@@ -60,8 +79,8 @@ func (w Workload) Normalized() Workload {
 // (e.g. FFT sizes must be >= 2) are checked by the device's Configs.
 func (w Workload) Validate() error {
 	w = w.Normalized()
-	if w.App != AppDense && w.App != AppFFT {
-		return fmt.Errorf("device: unknown application %q (want %q or %q)", w.App, AppDense, AppFFT)
+	if !knownApp(w.App) {
+		return fmt.Errorf("device: unknown application %q (known: %v)", w.App, Apps())
 	}
 	if w.N < 1 {
 		return fmt.Errorf("device: workload N=%d must be >= 1", w.N)

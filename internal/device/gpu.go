@@ -81,6 +81,40 @@ func (FFTPoint) Key() string { return "fft" }
 // String implements Config.
 func (FFTPoint) String() string { return "(fft)" }
 
+// SpMVPoint is one SpMV-family configuration: the CSR-vector lane count.
+type SpMVPoint struct {
+	Lanes int
+}
+
+// Key implements Config, e.g. "lanes=8".
+func (p SpMVPoint) Key() string { return fmt.Sprintf("lanes=%d", p.Lanes) }
+
+// String implements Config.
+func (p SpMVPoint) String() string { return fmt.Sprintf("(lanes=%d)", p.Lanes) }
+
+// StencilPoint is one stencil-family configuration: the shared-memory
+// tile edge.
+type StencilPoint struct {
+	Tile int
+}
+
+// Key implements Config, e.g. "tile=16".
+func (p StencilPoint) Key() string { return fmt.Sprintf("tile=%d", p.Tile) }
+
+// String implements Config.
+func (p StencilPoint) String() string { return fmt.Sprintf("(tile=%d)", p.Tile) }
+
+// CompoundPoint is the single configuration of the compound family: one
+// SpMV at the canonical lane count followed by one stencil sweep at the
+// canonical tile.
+type CompoundPoint struct{}
+
+// Key implements Config.
+func (CompoundPoint) Key() string { return "compound" }
+
+// String implements Config.
+func (CompoundPoint) String() string { return "(spmv+stencil)" }
+
 func (g *GPU) matmulWorkload(w Workload) gpusim.MatMulWorkload {
 	return gpusim.MatMulWorkload{N: w.N, Products: w.Products}
 }
@@ -110,6 +144,29 @@ func (g *GPU) Configs(w Workload) ([]Config, error) {
 			return nil, fmt.Errorf("device: FFT size %d must be >= 2", w.N)
 		}
 		return []Config{FFTPoint{}}, nil
+	case AppSpMV:
+		lanes := gpusim.SpMVLaneSpace()
+		out := make([]Config, len(lanes))
+		for i, l := range lanes {
+			out[i] = SpMVPoint{Lanes: l}
+		}
+		return out, nil
+	case AppStencil:
+		var out []Config
+		for _, t := range gpusim.StencilTileSpace() {
+			if t <= w.N {
+				out = append(out, StencilPoint{Tile: t})
+			}
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("device: stencil grid %d smaller than every tile on %s", w.N, g.name)
+		}
+		return out, nil
+	case AppCompound:
+		if w.N < gpusim.DefaultStencilTile {
+			return nil, fmt.Errorf("device: compound grid %d must be >= %d on %s", w.N, gpusim.DefaultStencilTile, g.name)
+		}
+		return []Config{CompoundPoint{}}, nil
 	default:
 		return nil, fmt.Errorf("device: %s cannot run application %q", g.name, w.App)
 	}
@@ -156,6 +213,57 @@ func (g *GPU) Run(ctx context.Context, w Workload, c Config) (*Outcome, error) {
 			TrueSeconds: n * r.Seconds,
 			TrueEnergyJ: n * r.DynEnergyJ,
 			Run:         meter.ConstantRun{Seconds: n * r.Seconds, Watts: idle + r.DynPowerW},
+		}, nil
+	case SpMVPoint:
+		if w.App != AppSpMV {
+			return nil, configMismatch(g, c)
+		}
+		r, err := g.dev.RunSpMV(w.N, p.Lanes)
+		if err != nil {
+			return nil, err
+		}
+		n := float64(w.Products)
+		return &Outcome{
+			TrueSeconds: n * r.Seconds,
+			TrueEnergyJ: n * r.DynEnergyJ,
+			Run:         meter.ConstantRun{Seconds: n * r.Seconds, Watts: idle + r.DynPowerW},
+		}, nil
+	case StencilPoint:
+		if w.App != AppStencil {
+			return nil, configMismatch(g, c)
+		}
+		r, err := g.dev.RunStencil(w.N, p.Tile)
+		if err != nil {
+			return nil, err
+		}
+		n := float64(w.Products)
+		return &Outcome{
+			TrueSeconds: n * r.Seconds,
+			TrueEnergyJ: n * r.DynEnergyJ,
+			Run:         meter.ConstantRun{Seconds: n * r.Seconds, Watts: idle + r.DynPowerW},
+		}, nil
+	case CompoundPoint:
+		if w.App != AppCompound {
+			return nil, configMismatch(g, c)
+		}
+		sp, err := g.dev.RunSpMV(w.N, gpusim.DefaultSpMVLanes)
+		if err != nil {
+			return nil, err
+		}
+		st, err := g.dev.RunStencil(w.N, gpusim.DefaultStencilTile)
+		if err != nil {
+			return nil, err
+		}
+		// Both phases back to back per product: a two-segment staircase
+		// whose energy is exactly the sum of the phase energies.
+		n := float64(w.Products)
+		run := &meter.SegmentRun{}
+		run.AddSegment(n*sp.Seconds, idle+sp.DynPowerW)
+		run.AddSegment(n*st.Seconds, idle+st.DynPowerW)
+		return &Outcome{
+			TrueSeconds: n * (sp.Seconds + st.Seconds),
+			TrueEnergyJ: n * (sp.DynEnergyJ + st.DynEnergyJ),
+			Run:         run,
 		}, nil
 	default:
 		return nil, configMismatch(g, c)

@@ -27,13 +27,14 @@ type Hetero struct {
 	catalog  string
 	idleW    float64
 	labels   []string
-	platform func(unitN int) []hetero.Processor
+	platform func(app string, unitN int) []hetero.Processor
 }
 
 // NewHetero wraps a platform builder: labels name the processors (short,
 // key-safe) and must match the builder's slice order; idleW is the
-// combined idle power of the ensemble's nodes.
-func NewHetero(name, catalog string, idleW float64, labels []string, platform func(unitN int) []hetero.Processor) (*Hetero, error) {
+// combined idle power of the ensemble's nodes. The builder receives the
+// workload's application family and unit size.
+func NewHetero(name, catalog string, idleW float64, labels []string, platform func(app string, unitN int) []hetero.Processor) (*Hetero, error) {
 	if name == "" {
 		return nil, errors.New("device: hetero needs a name")
 	}
@@ -51,7 +52,7 @@ func NewHetero(name, catalog string, idleW float64, labels []string, platform fu
 func NewPaperHetero(name string) *Hetero {
 	idle := hw.Haswell().IdlePowerW + hw.K40c().IdlePowerW + hw.P100().IdlePowerW
 	h, err := NewHetero(name, "Haswell + K40c + P100 (Fig 1 ensemble)", idle,
-		[]string{"haswell", "k40c", "p100"}, hetero.PaperPlatform)
+		[]string{"haswell", "k40c", "p100"}, hetero.PaperPlatformFor)
 	if err != nil {
 		panic(err) // static arguments; unreachable
 	}
@@ -104,10 +105,10 @@ func (h *Hetero) Configs(w Workload) ([]Config, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	if w.App != AppDense {
-		return nil, fmt.Errorf("device: %s runs only the dense family, not %q", h.name, w.App)
+	if w.App == AppFFT {
+		return nil, fmt.Errorf("device: %s cannot distribute the FFT family (no per-unit knob)", h.name)
 	}
-	procs := h.platform(w.N)
+	procs := h.platform(w.App, w.N)
 	if len(procs) != len(h.labels) {
 		return nil, fmt.Errorf("device: %s platform has %d processors, %d labels", h.name, len(procs), len(h.labels))
 	}
@@ -159,7 +160,10 @@ func (h *Hetero) Run(ctx context.Context, w Workload, c Config) (*Outcome, error
 	if total != w.Products {
 		return nil, fmt.Errorf("device: distribution %v sums to %d units, workload has %d", c, total, w.Products)
 	}
-	procs := h.platform(w.N)
+	if w.App == AppFFT {
+		return nil, fmt.Errorf("device: %s cannot distribute the FFT family (no per-unit knob)", h.name)
+	}
+	procs := h.platform(w.App, w.N)
 	if len(procs) != p.NP {
 		return nil, configMismatch(h, c)
 	}

@@ -8,6 +8,7 @@ import (
 	"energyprop/internal/campaign"
 	"energyprop/internal/device"
 	"energyprop/internal/fault"
+	"energyprop/internal/policy"
 	"energyprop/internal/store"
 )
 
@@ -165,6 +166,72 @@ func TestFleetWithDeviceFaultsSurvivorsByteIdentical(t *testing.T) {
 			zeroAttempts(got)
 			if gotBytes := marshalRecord(t, got); !bytes.Equal(gotBytes, wantBytes) {
 				t.Errorf("fleet survivors differ from the serial fault-free record\nwant: %s\ngot:  %s", wantBytes, gotBytes)
+			}
+		})
+	}
+}
+
+// policyBackends pairs each backend kind with a bandwidth-bound
+// workload for the policy determinism battery.
+func policyBackends() []struct {
+	name string
+	w    device.Workload
+} {
+	return []struct {
+		name string
+		w    device.Workload
+	}{
+		{"p100", device.Workload{App: device.AppSpMV, N: 2048, Products: 1}},
+		{"haswell", device.Workload{App: device.AppStencil, N: 64, Products: 1}},
+		{"hetero", device.Workload{App: device.AppCompound, N: 256, Products: 2}},
+	}
+}
+
+// openPolicy wraps a registry device under the battery's policy options.
+func openPolicy(t testing.TB, name string) device.Device {
+	t.Helper()
+	d, err := policy.Wrap(openDev(t, name), policy.Options{Slack: 1.7, FloorFrac: 0.35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestPolicyFleetByteIdenticalToSerial extends the headline invariant to
+// policy campaigns: a policy × configuration sweep sharded across a
+// chaos-ridden fleet — every node hosting its own policy wrapper — is
+// byte-identical to a serial single-process policy campaign, on all
+// three backend kinds with the bandwidth-bound workloads.
+func TestPolicyFleetByteIdenticalToSerial(t *testing.T) {
+	for _, tc := range policyBackends() {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := campaign.DefaultSpec(31)
+			serial.Workers = 1
+			want := runRecord(t, openPolicy(t, tc.name), tc.w, serial)
+
+			name := tc.name
+			coord, err := New(Options{
+				Nodes:       3,
+				ShardSize:   2,
+				Parallelism: 4,
+				CordonAfter: 1,
+				CordonTicks: 2,
+				Chaos:       nodeChaos(7),
+			}, func(node string) (device.Device, error) {
+				dev, err := device.Open(name)
+				if err != nil {
+					return nil, err
+				}
+				return policy.Wrap(dev, policy.Options{Slack: 1.7, FloorFrac: 0.35})
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := campaign.DefaultSpec(31)
+			spec.Executor = Executor{Coord: coord}
+			got := runRecord(t, openPolicy(t, tc.name), tc.w, spec)
+			if !bytes.Equal(got, want) {
+				t.Errorf("fleet policy record differs from the serial one\nwant: %s\ngot:  %s", want, got)
 			}
 		})
 	}

@@ -1,0 +1,129 @@
+package gpusim
+
+import (
+	"testing"
+
+	"energyprop/internal/workload"
+)
+
+func TestSpMVLaneSpace(t *testing.T) {
+	space := SpMVLaneSpace()
+	if len(space) != 6 || space[0] != 1 || space[5] != 32 {
+		t.Fatalf("lane space %v", space)
+	}
+	for _, l := range space {
+		if !ValidSpMVLanes(l) {
+			t.Errorf("lane %d not valid", l)
+		}
+	}
+	if ValidSpMVLanes(3) || ValidSpMVLanes(64) {
+		t.Error("out-of-space lanes accepted")
+	}
+	if !ValidSpMVLanes(DefaultSpMVLanes) {
+		t.Error("default lanes outside the space")
+	}
+}
+
+func TestRunSpMVBasics(t *testing.T) {
+	d := NewP100()
+	r, err := d.RunSpMV(8192, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seconds <= 0 || r.DynEnergyJ <= 0 || r.DynPowerW <= 0 {
+		t.Fatalf("non-positive outputs: %+v", r)
+	}
+	if r.Work != workload.SpMVFlops(8192) {
+		t.Errorf("work %g, want %g", r.Work, workload.SpMVFlops(8192))
+	}
+	// Bandwidth-bound: far below the device's peak.
+	if r.GFLOPs > 0.2*d.Spec.PeakGFLOPsFP64 {
+		t.Errorf("SpMV at %g GFLOPs is not bandwidth-bound (peak %g)", r.GFLOPs, d.Spec.PeakGFLOPsFP64)
+	}
+	if _, err := d.RunSpMV(0, 8); err == nil {
+		t.Error("n=0 must error")
+	}
+	if _, err := d.RunSpMV(1024, 5); err == nil {
+		t.Error("lanes outside the space must error")
+	}
+}
+
+func TestSpMVLaneTradeoffExists(t *testing.T) {
+	// The lane space must produce distinct (time, energy) points — if
+	// every lane count gave the same coordinates there would be nothing
+	// to optimize.
+	d := NewK40c()
+	times := map[float64]bool{}
+	for _, l := range SpMVLaneSpace() {
+		r, err := d.RunSpMV(16384, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[r.Seconds] = true
+	}
+	if len(times) < 4 {
+		t.Errorf("only %d distinct SpMV times across 6 lane counts", len(times))
+	}
+	// CSR-scalar (1 lane) must be slower than the well-coalesced middle.
+	one, _ := d.RunSpMV(16384, 1)
+	mid, _ := d.RunSpMV(16384, 8)
+	if one.Seconds <= mid.Seconds {
+		t.Errorf("1-lane %.4fs not slower than 8-lane %.4fs", one.Seconds, mid.Seconds)
+	}
+}
+
+func TestRunStencilBasics(t *testing.T) {
+	d := NewP100()
+	r, err := d.RunStencil(4096, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seconds <= 0 || r.DynEnergyJ <= 0 {
+		t.Fatalf("non-positive outputs: %+v", r)
+	}
+	if r.Work != workload.StencilFlops(4096) {
+		t.Errorf("work %g, want %g", r.Work, workload.StencilFlops(4096))
+	}
+	if _, err := d.RunStencil(4096, 7); err == nil {
+		t.Error("tile outside the space must error")
+	}
+	if _, err := d.RunStencil(8, 16); err == nil {
+		t.Error("grid smaller than tile must error")
+	}
+	if !ValidStencilTile(DefaultStencilTile) {
+		t.Error("default tile outside the space")
+	}
+}
+
+func TestStencilTileTradeoffExists(t *testing.T) {
+	d := NewK40c()
+	var prev float64
+	distinct := 0
+	for _, tile := range StencilTileSpace() {
+		r, err := d.RunStencil(8192, tile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Seconds != prev {
+			distinct++
+			prev = r.Seconds
+		}
+	}
+	if distinct < 2 {
+		t.Error("tile space produces no distinct stencil times")
+	}
+}
+
+func TestBandwidthFamiliesDeterministicGPU(t *testing.T) {
+	d := NewP100()
+	a, _ := d.RunSpMV(4096, 16)
+	b, _ := d.RunSpMV(4096, 16)
+	if a.Seconds != b.Seconds || a.DynEnergyJ != b.DynEnergyJ {
+		t.Error("SpMV reruns differ")
+	}
+	s1, _ := d.RunStencil(4096, 32)
+	s2, _ := d.RunStencil(4096, 32)
+	if s1.Seconds != s2.Seconds || s1.DynEnergyJ != s2.DynEnergyJ {
+		t.Error("stencil reruns differ")
+	}
+}

@@ -21,6 +21,8 @@ var determScoped = map[string]bool{
 	"energyprop/internal/experiment": true,
 	"energyprop/internal/fault":      true,
 	"energyprop/internal/fleet":      true,
+	"energyprop/internal/policy":     true,
+	"energyprop/internal/workload":   true,
 }
 
 // randConstructors are the math/rand package functions that *build*

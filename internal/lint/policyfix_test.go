@@ -1,0 +1,40 @@
+package lint
+
+import "testing"
+
+// TestPureRunFlagsClockInPolicyWrapperRun: the energy-policy wrapper
+// (internal/policy) is a device.Device like any other, so purerun
+// auto-roots its Run the moment the interface is satisfied. A wrapper
+// that stamps the deadline window from the wall clock instead of the
+// inner run's modeled duration would make every policy record depend on
+// when the point ran — the exact failure the determinism battery exists
+// to prevent.
+func TestPureRunFlagsClockInPolicyWrapperRun(t *testing.T) {
+	src := `package policyfix
+
+import (
+	"context"
+	"time"
+
+	"energyprop/internal/device"
+)
+
+type wrapper struct{ inner device.Device }
+
+func (w wrapper) Name() string      { return w.inner.Name() }
+func (w wrapper) Kind() string      { return w.inner.Kind() }
+func (w wrapper) Spec() device.Spec { return w.inner.Spec() }
+
+func (w wrapper) Configs(wl device.Workload) ([]device.Config, error) { return w.inner.Configs(wl) }
+
+func (w wrapper) Run(ctx context.Context, wl device.Workload, c device.Config) (*device.Outcome, error) {
+	deadline := float64(time.Now().UnixNano())
+	out, err := w.inner.Run(ctx, wl, c)
+	_ = deadline
+	return out, err
+}
+`
+	checkFixture(t, []Rule{PureRun{}}, "energyprop/internal/policyfix", src, []want{
+		{line: 19, rule: "purerun", substr: "time.Now inside a measurement path"},
+	})
+}

@@ -21,6 +21,7 @@ var seedFlowScoped = map[string]bool{
 	"energyprop/internal/service":  true,
 	"energyprop/internal/fault":    true,
 	"energyprop/internal/fleet":    true,
+	"energyprop/internal/policy":   true,
 }
 
 // seedFlowStrict is the subset of scoped packages where device.ConfigSeed

@@ -97,6 +97,12 @@ func TrueEnergy(r Run) float64 {
 	if c, ok := r.(ConstantRun); ok {
 		return c.Seconds * c.Watts
 	}
+	if w, ok := r.(WindowRun); ok {
+		return windowTrueEnergy(w)
+	}
+	if p, ok := r.(PacedRun); ok {
+		return pacedTrueEnergy(p)
+	}
 	return integrate(r.PowerAt, r.Duration(), 1e-3)
 }
 

@@ -57,6 +57,20 @@ var fuzzSeeds = []string{
 	`{"device":"p100","workload":{"N":1024,"Products":2},"retries":1000}`,
 	`{"device":"p100","workload":{"N":1024,"Products":2},"timeout_ms":-5}`,
 	`{"device":"p100","workload":{"N":1024,"Products":2},"faults":{"seed":1,"transient":2}}`,
+	`{"device":"p100","workload":{"app":"spmv","N":2048,"Products":1},"seed":9}`,
+	`{"device":"haswell","workload":{"app":"stencil","N":64,"Products":1},"seed":9}`,
+	`{"device":"hetero","workload":{"app":"compound","N":256,"Products":1},"seed":9}`,
+	`{"device":"haswell","workload":{"app":"stencil","N":2,"Products":1},"seed":9}`,
+	`{"device":"hetero","workload":{"app":"fft","N":1024,"Products":1},"seed":9}`,
+	`{"device":"p100","workload":{"app":"spmv","N":2048,"Products":1},"seed":9,"policy":"race"}`,
+	`{"device":"haswell","workload":{"N":48,"Products":1},"seed":9,"policy":"all","slack":2,"floor":0.4}`,
+	`{"device":"p100","workload":{"N":1024,"Products":2},"policy":"sprint"}`,
+	`{"device":"p100","workload":{"N":1024,"Products":2},"slack":2}`,
+	`{"device":"p100","workload":{"N":1024,"Products":2},"policy":"race","slack":9}`,
+	`{"device":"p100","workload":{"N":1024,"Products":2},"policy":"race","slack":0.5}`,
+	`{"device":"p100","workload":{"N":1024,"Products":2},"policy":"paced","floor":0.96}`,
+	`{"device":"p100","workload":{"N":1024,"Products":2},"policy":"paced","floor":-0.1}`,
+	`{"device":"p100","workload":{"N":1024,"Products":2},"policy":"race","slack":1e308}`,
 }
 
 // checkResponse is the property both fuzzers assert: the decoder and

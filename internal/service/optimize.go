@@ -5,9 +5,11 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"energyprop/internal/device"
 	"energyprop/internal/parindex"
+	"energyprop/internal/policy"
 )
 
 // OptimizeResponse is the /optimize reply: the best configuration the
@@ -32,6 +34,9 @@ type OptimizeResponse struct {
 	// FrontSize is the Pareto front's size for this key — how many
 	// non-dominated configurations the index currently distinguishes.
 	FrontSize int `json:"front_size"`
+	// Policy echoes the policy query parameter when the answer was
+	// restricted to one strategy's points.
+	Policy string `json:"policy,omitempty"`
 }
 
 // queryFloat parses an optional positive finite float query parameter;
@@ -67,6 +72,36 @@ func queryInt(r *http.Request, name string) (int, bool, error) {
 	return v, true, nil
 }
 
+// bestOnFront applies parindex.Query semantics to an explicit entry
+// slice: max_time minimizes energy among points at most that slow,
+// max_energy minimizes time among points at most that hungry, both
+// applies both filters and minimizes energy. Used for the policy filter,
+// where the candidates are a subset of the stored front.
+func bestOnFront(entries []parindex.Entry, q parindex.Query) (parindex.Entry, bool) {
+	var best parindex.Entry
+	found := false
+	for _, e := range entries {
+		if q.MaxTime > 0 && e.Time > q.MaxTime {
+			continue
+		}
+		if q.MaxEnergy > 0 && e.Energy > q.MaxEnergy {
+			continue
+		}
+		better := !found
+		if found {
+			if q.MaxTime > 0 {
+				better = e.Energy < best.Energy
+			} else {
+				better = e.Time < best.Time
+			}
+		}
+		if better {
+			best, found = e, true
+		}
+	}
+	return best, found
+}
+
 // handleOptimize answers a constraint query from the incremental Pareto
 // index — the serving path of the streaming pipeline. No measurement
 // runs: the answer is a treap lookup over fronts that /measure and
@@ -82,6 +117,13 @@ func queryInt(r *http.Request, name string) (int, bool, error) {
 // time among points at most that hungry; both applies both filters and
 // minimizes energy. At least one constraint is required — an
 // unconstrained "best" has no single answer on a two-objective front.
+//
+// An optional policy parameter restricts the answer to one strategy's
+// configurations ("pol=<policy>/…" keys from a policy /sweep). The
+// filter sees only the current front: a policy point dominated by the
+// other strategy's points is not on the front and cannot be returned,
+// which is the honest reading of "best under this policy that is also
+// globally non-dominated".
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
@@ -126,15 +168,49 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			"at least one of max_time or max_energy is required (an unconstrained query has no single optimum on a two-objective front)")
 		return
 	}
+	pol := r.URL.Query().Get("policy")
+	if pol != "" && !policy.ValidStrategy(pol) {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf(
+			"unknown policy %q (known: %v)", pol, policy.Strategies()))
+		return
+	}
 	key := parindex.Key{Device: name, App: wl.App, N: wl.N, Products: wl.Products}
-	best, frontSize, ok := s.index.Best(key, parindex.Query{MaxTime: maxTime, MaxEnergy: maxEnergy})
-	if !ok {
-		if frontSize == 0 {
+	q := parindex.Query{MaxTime: maxTime, MaxEnergy: maxEnergy}
+	var best parindex.Entry
+	var frontSize int
+	if pol == "" {
+		best, frontSize, ok = s.index.Best(key, q)
+		if !ok && frontSize == 0 {
 			httpError(w, http.StatusNotFound, fmt.Sprintf(
 				"no indexed campaign for device=%q app=%q n=%d products=%d — run a /sweep (or /measure) for this workload first",
 				key.Device, key.App, key.N, key.Products))
 			return
 		}
+	} else {
+		entries := s.index.Entries(key)
+		if len(entries) == 0 {
+			httpError(w, http.StatusNotFound, fmt.Sprintf(
+				"no indexed campaign for device=%q app=%q n=%d products=%d — run a /sweep (or /measure) for this workload first",
+				key.Device, key.App, key.N, key.Products))
+			return
+		}
+		prefix := "pol=" + pol + "/"
+		var candidates []parindex.Entry
+		for _, e := range entries {
+			if strings.HasPrefix(e.Config, prefix) {
+				candidates = append(candidates, e)
+			}
+		}
+		if len(candidates) == 0 {
+			httpError(w, http.StatusNotFound, fmt.Sprintf(
+				"front holds %d non-dominated points for this workload but none under policy %q — run a policy /sweep, or the other strategy dominates here",
+				len(entries), pol))
+			return
+		}
+		frontSize = len(candidates)
+		best, ok = bestOnFront(candidates, q)
+	}
+	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Sprintf(
 			"no configuration satisfies the constraint (front holds %d non-dominated points for this workload)",
 			frontSize))
@@ -155,5 +231,6 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		DynEnergyJ: best.Energy,
 		Objective:  objective,
 		FrontSize:  frontSize,
+		Policy:     pol,
 	})
 }

@@ -62,6 +62,15 @@
 // that is the fleet's headline invariant — and the control-plane
 // activity is reported in X-Fleet-Shards/-Preemptions/-Cordons/
 // -Remediations headers.
+//
+// Both measurement endpoints accept an energy policy: "policy" ("race",
+// "paced", or "all") with optional "slack" (deadline window as a
+// multiple of the busy interval, in [1, MaxRequestSlack]) and "floor"
+// (deep-idle floor as a fraction of active idle, in [0,
+// MaxRequestFloor)). The device is wrapped by internal/policy, so a
+// policy sweep covers the policy × configuration cross product and its
+// record keys carry the "pol=…" prefix; /optimize takes a matching
+// "policy" query parameter to restrict the front to one strategy.
 package service
 
 import (
@@ -81,6 +90,7 @@ import (
 	"energyprop/internal/fleet"
 	"energyprop/internal/memo"
 	"energyprop/internal/parindex"
+	"energyprop/internal/policy"
 )
 
 // Request ceilings. The meter samples runs at WattsUp rate (seconds of
@@ -110,6 +120,14 @@ const (
 	// request does not name one.
 	MaxRequestNodes     = 64
 	DefaultRequestNodes = 4
+	// MaxRequestSlack caps the policy deadline window (as a multiple of
+	// the busy interval): the meter integrates the whole window, so the
+	// slack multiplies the samples per point.
+	MaxRequestSlack = 8
+	// MaxRequestFloor caps the policy deep-idle floor fraction below the
+	// active-idle baseline, keeping the static/dynamic decomposition
+	// meaningful.
+	MaxRequestFloor = 0.95
 )
 
 // StatusClientClosedRequest is the nginx-convention 499 recorded when
@@ -322,15 +340,63 @@ func wrapFaults(dev device.Device, req *FaultRequest) (device.Device, error) {
 	return fault.Wrap(dev, req.plan())
 }
 
+// PolicyParams are the optional energy-policy fields shared by /measure
+// and /sweep. A named policy wraps the device before configurations are
+// enumerated, so every configuration key gains a "pol=…/s=…/f=…/"
+// prefix and the measured energies are integrated over the deadline
+// window against the deep-idle floor (internal/policy).
+type PolicyParams struct {
+	// Policy selects the strategy: "race", "paced", or "all" (the cross
+	// product). Empty means no policy wrapper.
+	Policy string `json:"policy,omitempty"`
+	// Slack is the deadline window as a multiple of the busy interval;
+	// 0 means the policy default (1.5). Capped at MaxRequestSlack.
+	Slack float64 `json:"slack,omitempty"`
+	// Floor is the deep-idle floor as a fraction of active idle power;
+	// 0 means the policy default (0.3). Capped at MaxRequestFloor.
+	Floor float64 `json:"floor,omitempty"`
+}
+
+// options validates the policy fields and resolves them to wrapper
+// options; enabled is false when no policy was requested.
+func (p PolicyParams) options() (opts policy.Options, enabled bool, err error) {
+	if p.Policy == "" {
+		if p.Slack != 0 || p.Floor != 0 {
+			return opts, false, fmt.Errorf(`slack and floor require a policy (known: %v, or "all")`, policy.Strategies())
+		}
+		return opts, false, nil
+	}
+	var strategies []string
+	if p.Policy != "all" {
+		if !policy.ValidStrategy(p.Policy) {
+			return opts, false, fmt.Errorf(`unknown policy %q (known: %v, or "all")`, p.Policy, policy.Strategies())
+		}
+		strategies = []string{p.Policy}
+	}
+	if math.IsNaN(p.Slack) || p.Slack < 0 || p.Slack > MaxRequestSlack {
+		return opts, false, fmt.Errorf("slack=%v out of range [1, %d] (0 = default)", p.Slack, MaxRequestSlack)
+	}
+	if math.IsNaN(p.Floor) || p.Floor < 0 || p.Floor > MaxRequestFloor {
+		return opts, false, fmt.Errorf("floor=%v out of range [0, %g) (0 = default)", p.Floor, MaxRequestFloor)
+	}
+	opts = policy.Options{Strategies: strategies, Slack: p.Slack, FloorFrac: p.Floor}.Normalized()
+	if err := opts.Validate(); err != nil {
+		return opts, false, err
+	}
+	return opts, true, nil
+}
+
 // MeasureRequest is the /measure body. Config is the configuration's
 // canonical key as enumerated by the device — "bs=24/g=1/r=8" on a GPU,
 // "contiguous/p=2/t=12" on a CPU, "haswell=2/k40c=3/p100=3" on the
-// hetero ensemble.
+// hetero ensemble (with a "pol=…/s=…/f=…/" prefix under a policy).
 type MeasureRequest struct {
 	Device   string          `json:"device"`
 	Workload device.Workload `json:"workload"`
 	Config   string          `json:"config"`
 	Seed     int64           `json:"seed"`
+	// PolicyParams optionally wrap the device under an energy policy.
+	PolicyParams
 	// Nocache bypasses the per-process measured-point cache for this
 	// request: the point is recomputed (bit-identical by construction)
 	// and the result is not stored.
@@ -359,13 +425,23 @@ type MeasureResponse struct {
 	Attempts int `json:"attempts"`
 }
 
-// resolveRequest validates the shared (device, workload) part of a
-// request body and returns the opened device, the normalized workload,
-// and its enumerated configurations. All failures are client errors.
-func resolveRequest(name string, w device.Workload) (device.Device, device.Workload, []device.Config, error) {
+// resolveRequest validates the shared (device, workload, policy) part
+// of a request body and returns the opened (and, under a policy,
+// wrapped) device, the normalized workload, and its enumerated
+// configurations. All failures are client errors.
+func resolveRequest(name string, w device.Workload, pol PolicyParams) (device.Device, device.Workload, []device.Config, error) {
 	dev, err := openDevice(name)
 	if err != nil {
 		return nil, w, nil, err
+	}
+	popts, enabled, err := pol.options()
+	if err != nil {
+		return nil, w, nil, err
+	}
+	if enabled {
+		if dev, err = policy.Wrap(dev, popts); err != nil {
+			return nil, w, nil, err
+		}
 	}
 	w = w.Normalized()
 	if err := w.Validate(); err != nil {
@@ -391,7 +467,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	dev, wl, configs, err := resolveRequest(req.Device, req.Workload)
+	dev, wl, configs, err := resolveRequest(req.Device, req.Workload, req.PolicyParams)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -469,6 +545,10 @@ type SweepRequest struct {
 	Device   string          `json:"device"`
 	Workload device.Workload `json:"workload"`
 	Seed     int64           `json:"seed"`
+	// PolicyParams optionally wrap the device under an energy policy:
+	// the sweep covers policy × configuration and the record's keys
+	// carry the "pol=…" prefix.
+	PolicyParams
 	// Workers bounds the campaign's fan-out; 0 means GOMAXPROCS. The
 	// returned record is identical for every worker count.
 	Workers int `json:"workers"`
@@ -563,16 +643,35 @@ func sweepCoordinator(req *SweepRequest) (*fleet.Coordinator, error) {
 	if req.NodeFaults != nil {
 		chaos = req.NodeFaults.chaos()
 	}
-	coord, err := fleet.ForDevice(req.Device, plan, fleet.Options{
+	opts := fleet.Options{
 		Nodes:       nodes,
 		ShardSize:   req.ShardSize,
 		Parallelism: req.Workers,
 		Chaos:       chaos,
-	})
+	}
+	popts, enabled, err := req.PolicyParams.options()
 	if err != nil {
 		return nil, err
 	}
-	return coord, nil
+	if !enabled {
+		return fleet.ForDevice(req.Device, plan, opts)
+	}
+	// Policy sweeps need every node to host the same policy wrapper the
+	// reference device carries, or the nodes would reject the policy
+	// configuration keys.
+	name := req.Device
+	return fleet.New(opts, func(node string) (device.Device, error) {
+		dev, err := device.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		if plan.Enabled() {
+			if dev, err = fault.Wrap(dev, fleet.NodePlan(plan, node)); err != nil {
+				return nil, err
+			}
+		}
+		return policy.Wrap(dev, popts)
+	})
 }
 
 // setFleetHeaders exposes a fleet sweep's control-plane activity.
@@ -599,7 +698,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("workers=%d out of range 0..%d", req.Workers, MaxRequestWorkers))
 		return
 	}
-	dev, wl, configs, err := resolveRequest(req.Device, req.Workload)
+	dev, wl, configs, err := resolveRequest(req.Device, req.Workload, req.PolicyParams)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
